@@ -1,0 +1,158 @@
+package pinbcast
+
+import (
+	"time"
+
+	"pinbcast/internal/algebra"
+	"pinbcast/internal/channel"
+	"pinbcast/internal/client"
+	"pinbcast/internal/core"
+	"pinbcast/internal/ida"
+	"pinbcast/internal/pinwheel"
+	"pinbcast/internal/rtdb"
+	"pinbcast/internal/sim"
+)
+
+// Broadcast-disk specification and construction (internal/core).
+type (
+	// FileSpec describes a fault-tolerant real-time broadcast file:
+	// Blocks (m), Latency (T), Faults (r) and an optional AIDA
+	// DispersalWidth.
+	FileSpec = core.FileSpec
+	// GenFileSpec describes a generalized file with a per-fault-level
+	// latency vector (§4).
+	GenFileSpec = core.GenFileSpec
+	// Program is a cyclic broadcast program with AIDA block rotation.
+	Program = core.Program
+	// GeneralizedResult carries a generalized construction's program,
+	// conjunct and scheduler system.
+	GeneralizedResult = core.GeneralizedResult
+)
+
+// NecessaryBandwidth returns Σ (mᵢ+rᵢ)/Tᵢ, the bandwidth lower bound.
+func NecessaryBandwidth(files []FileSpec) float64 { return core.NecessaryBandwidth(files) }
+
+// SufficientBandwidth returns the paper's Equation 1/2 bandwidth
+// ⌈10/7 · Σ (mᵢ+rᵢ)/Tᵢ⌉, sufficient for schedulability.
+func SufficientBandwidth(files []FileSpec) int { return core.SufficientBandwidth(files) }
+
+// MinBandwidth returns the smallest bandwidth at which the scheduler
+// portfolio constructs a program.
+func MinBandwidth(files []FileSpec) (int, error) { return core.MinBandwidth(files) }
+
+// BuildProgram constructs a broadcast program at the given bandwidth.
+func BuildProgram(files []FileSpec, bandwidth int) (*Program, error) {
+	return core.BuildProgram(files, bandwidth)
+}
+
+// BuildProgramAuto sizes bandwidth with Equation 1/2 and builds the
+// program.
+func BuildProgramAuto(files []FileSpec) (*Program, error) { return core.BuildProgramAuto(files) }
+
+// BuildGeneralizedProgram constructs a program for files with
+// per-fault-level latency vectors via the pinwheel algebra.
+func BuildGeneralizedProgram(files []GenFileSpec) (*GeneralizedResult, error) {
+	return core.BuildGeneralizedProgram(files)
+}
+
+// FlatSpread builds the uniformly-interleaved flat baseline program
+// (Figures 5–6).
+func FlatSpread(files []FileSpec) (*Program, error) { return core.FlatSpread(files) }
+
+// FlatSequential builds the naive back-to-back flat baseline program.
+func FlatSequential(files []FileSpec) (*Program, error) { return core.FlatSequential(files) }
+
+// Information dispersal (internal/ida).
+type (
+	// Block is a self-identifying AIDA block.
+	Block = ida.Block
+)
+
+// Disperse splits data into n self-identifying blocks of which any m
+// reconstruct it (Rabin's IDA over GF(2⁸)).
+func Disperse(fileID uint32, data []byte, m, n int) ([]*Block, error) {
+	return ida.DisperseFile(fileID, data, m, n)
+}
+
+// Reconstruct recovers a file from at least M of its blocks.
+func Reconstruct(blocks []*Block) ([]byte, error) { return ida.ReconstructFile(blocks) }
+
+// Pinwheel scheduling (internal/pinwheel).
+type (
+	// Task is a pinwheel task (a, b): at least a slots of every b.
+	Task = pinwheel.Task
+	// TaskSystem is a set of pinwheel tasks sharing the channel.
+	TaskSystem = pinwheel.System
+	// Schedule is a verified cyclic schedule.
+	Schedule = pinwheel.Schedule
+)
+
+// SchedulePinwheel runs the scheduler portfolio on a pinwheel system.
+func SchedulePinwheel(s TaskSystem) (*Schedule, error) { return pinwheel.Solve(s, nil) }
+
+// DensityTestCC is Chan & Chin's sufficient schedulability test
+// (density ≤ 7/10).
+func DensityTestCC(s TaskSystem) bool { return pinwheel.DensityTestCC(s) }
+
+// Pinwheel algebra (internal/algebra).
+type (
+	// BroadcastCondition is bc(i, m, d⃗) from §4.
+	BroadcastCondition = algebra.BC
+	// PinwheelCondition is pc(i, a, b) from §4.
+	PinwheelCondition = algebra.PC
+	// NiceConjunct is a nice conjunct of pinwheel conditions.
+	NiceConjunct = algebra.NiceConjunct
+)
+
+// ConvertCondition searches for a minimum-density nice conjunct
+// implying the broadcast condition, certified by the forcing engine.
+func ConvertCondition(b BroadcastCondition) (NiceConjunct, error) { return algebra.Convert(b) }
+
+// Simulation (internal/sim, internal/channel, internal/client).
+type (
+	// SimConfig configures an end-to-end simulation.
+	SimConfig = sim.Config
+	// SimReport is a simulation outcome.
+	SimReport = sim.Report
+	// ClientSpec places a client in a simulation.
+	ClientSpec = sim.ClientSpec
+	// Request asks a client to retrieve one file by a deadline.
+	Request = client.Request
+	// FaultModel injects channel errors.
+	FaultModel = channel.FaultModel
+)
+
+// Simulate runs an end-to-end broadcast simulation.
+func Simulate(cfg SimConfig) (*SimReport, error) { return sim.Run(cfg) }
+
+// NoFaults returns the fault-free channel.
+func NoFaults() FaultModel { return channel.None{} }
+
+// BernoulliFaults returns the paper's independent block-error model.
+func BernoulliFaults(p float64, seed int64) FaultModel { return channel.NewBernoulli(p, seed) }
+
+// BurstFaults returns a Gilbert–Elliott bursty loss model.
+func BurstFaults(pGoodToBad, pBadToGood, pLossWhileBad float64, seed int64) FaultModel {
+	return channel.NewGilbertElliott(pGoodToBad, pBadToGood, pLossWhileBad, seed)
+}
+
+// Real-time database layer (internal/rtdb).
+type (
+	// RTDatabase maps temporally-constrained items to broadcast files.
+	RTDatabase = rtdb.Database
+	// RTItem is a data item with a temporal-consistency constraint.
+	RTItem = rtdb.Item
+	// Mode is an operation mode scaling per-item criticality.
+	Mode = rtdb.Mode
+)
+
+// NewRTDatabase returns a database with the given latency unit.
+func NewRTDatabase(unit time.Duration, items ...RTItem) *RTDatabase {
+	return &RTDatabase{Unit: unit, Items: items}
+}
+
+// Admit applies density-based admission control: candidate joins the
+// admitted set at bandwidth b only if every guarantee is preserved.
+func Admit(admitted []FileSpec, candidate FileSpec, b int) ([]FileSpec, error) {
+	return rtdb.Admit(admitted, candidate, b)
+}

@@ -1,0 +1,221 @@
+package pinbcast
+
+// One benchmark per table and figure of the paper's evaluation (the
+// experiment index in DESIGN.md), plus end-to-end performance
+// benchmarks of the primary pipeline. Each experiment benchmark runs
+// the generator that regenerates the corresponding artifact; run
+//
+//	go test -bench=. -benchmem
+//
+// and see cmd/experiments for the rendered tables.
+
+import (
+	"testing"
+
+	"pinbcast/internal/core"
+	"pinbcast/internal/exp"
+	"pinbcast/internal/pinwheel"
+	"pinbcast/internal/sim"
+	"pinbcast/internal/workload"
+)
+
+// E1 — Figure 5: flat broadcast program construction.
+func BenchmarkFig5FlatProgram(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Figure5(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E2 — Figure 6: AIDA flat program with data cycle.
+func BenchmarkFig6AIDAProgram(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Figure6(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E3 — Figure 7: exact adversarial worst-case delay table.
+func BenchmarkFig7WorstCaseDelay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Figure7(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E4 — Lemmas 1–2 delay bounds on random programs.
+func BenchmarkLemmaBounds(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.LemmaBounds(6, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E5 — Equation 1 bandwidth sizing sweep.
+func BenchmarkEq1Bandwidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Equation1([]int{5, 10, 20}, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E6 — Equation 2 fault-tolerant bandwidth sweep.
+func BenchmarkEq2FaultTolerantBandwidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Equation2(4, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E6b — per-file fault-tolerance policies (§3.2 generalization).
+func BenchmarkPerFileFaultPolicies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.PerFileFaults(4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E7 — Example 1 pinwheel systems (including proved infeasibility).
+func BenchmarkExample1Schedulability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Example1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E8 — Examples 2–6 algebra conversions.
+func BenchmarkExamples2to6Conversions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Examples2to6(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E9 — §3.1 density bounds: scheduler success-rate sweep.
+func BenchmarkSchedulerDensitySweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.DensitySweep([]float64{0.4, 0.6, 0.8}, 10, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E10 — §5 block-size tradeoff.
+func BenchmarkIDADispersalLevel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.BlockSizeTradeoff(8192, []int{4, 16, 64}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E11 — client cache policy comparison.
+func BenchmarkCachePolicies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.CachePolicies(1000, 9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E12 — multi-disk vs pinwheel layouts.
+func BenchmarkMultidiskVsPinwheel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.MultidiskVsPinwheel(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E13 — (1,m) air-index tradeoff.
+func BenchmarkAirIndexTradeoff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.AirIndexTradeoff([]int{1, 2, 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E14 — scheduler δ ablation.
+func BenchmarkSchedulerDeltaAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.SchedulerDeltaAblation(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Performance benchmarks of the primary pipeline.
+
+func BenchmarkBuildProgramIVHS(b *testing.B) {
+	files := workload.IVHS(6, 7)
+	bw := core.SufficientBandwidth(files)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.BuildProgram(files, bw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPortfolio32Tasks(b *testing.B) {
+	files := workload.Random(32, 6, 10, 120, 1, 9)
+	sys := core.TaskSystem(files, core.SufficientBandwidth(files))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pinwheel.Solve(sys, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEndToEndSimulation(b *testing.B) {
+	files := []core.FileSpec{
+		{Name: "A", Blocks: 5, Latency: 1, DispersalWidth: 10},
+		{Name: "B", Blocks: 3, Latency: 1, DispersalWidth: 6},
+	}
+	prog, err := core.FlatSpread(files)
+	if err != nil {
+		b.Fatal(err)
+	}
+	contents := workload.Contents(files, 256, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := sim.Run(sim.Config{
+			Program:  prog,
+			Contents: contents,
+			Fault:    BernoulliFaults(0.05, int64(i)),
+			Clients: []sim.ClientSpec{
+				{Start: i % 16, Requests: []Request{{File: "A"}, {File: "B"}}},
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGeneralizedConstruction(b *testing.B) {
+	files := []core.GenFileSpec{
+		{Name: "nav", Blocks: 3, Latencies: []int{10, 14, 18}},
+		{Name: "met", Blocks: 2, Latencies: []int{12, 16}},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.BuildGeneralizedProgram(files); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

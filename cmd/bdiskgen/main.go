@@ -1,0 +1,174 @@
+// Command bdiskgen builds a fault-tolerant real-time broadcast program
+// from a JSON specification and prints the program, its bandwidth
+// sizing and per-file guarantees.
+//
+// Usage:
+//
+//	bdiskgen -spec files.json [-bandwidth 0]
+//
+// Specification format (latency in time units; faults optional):
+//
+//	{
+//	  "files": [
+//	    {"name": "traffic", "blocks": 4, "latency": 8, "faults": 1},
+//	    {"name": "map",     "blocks": 8, "latency": 40}
+//	  ]
+//	}
+//
+// With -generalized the spec instead lists latency vectors in slots:
+//
+//	{"generalized": [{"name": "A", "blocks": 2, "latencies": [8, 10]}]}
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"pinbcast/internal/core"
+)
+
+type spec struct {
+	Files []struct {
+		Name    string `json:"name"`
+		Blocks  int    `json:"blocks"`
+		Latency int    `json:"latency"`
+		Faults  int    `json:"faults"`
+		Width   int    `json:"width"`
+	} `json:"files"`
+	Generalized []struct {
+		Name      string `json:"name"`
+		Blocks    int    `json:"blocks"`
+		Latencies []int  `json:"latencies"`
+	} `json:"generalized"`
+}
+
+func main() {
+	specPath := flag.String("spec", "", "path to the JSON specification")
+	bandwidth := flag.Int("bandwidth", 0, "bandwidth in blocks per time unit (0 = Equation 1/2)")
+	out := flag.String("out", "", "write the constructed program as JSON to this path")
+	flag.Parse()
+	outPath = *out
+	if *specPath == "" {
+		fmt.Fprintln(os.Stderr, "bdiskgen: -spec is required")
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(*specPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bdiskgen:", err)
+		os.Exit(1)
+	}
+	var s spec
+	if err := json.Unmarshal(raw, &s); err != nil {
+		fmt.Fprintln(os.Stderr, "bdiskgen: parsing spec:", err)
+		os.Exit(1)
+	}
+
+	switch {
+	case len(s.Generalized) > 0:
+		if err := runGeneralized(s); err != nil {
+			fmt.Fprintln(os.Stderr, "bdiskgen:", err)
+			os.Exit(1)
+		}
+	case len(s.Files) > 0:
+		if err := runRegular(s, *bandwidth); err != nil {
+			fmt.Fprintln(os.Stderr, "bdiskgen:", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "bdiskgen: spec lists no files")
+		os.Exit(1)
+	}
+}
+
+func runRegular(s spec, bandwidth int) error {
+	files := make([]core.FileSpec, len(s.Files))
+	for i, f := range s.Files {
+		files[i] = core.FileSpec{
+			Name: f.Name, Blocks: f.Blocks, Latency: f.Latency,
+			Faults: f.Faults, DispersalWidth: f.Width,
+		}
+	}
+	necessary := core.NecessaryBandwidth(files)
+	sufficient := core.SufficientBandwidth(files)
+	if bandwidth == 0 {
+		bandwidth = sufficient
+	}
+	fmt.Printf("files:                %d\n", len(files))
+	fmt.Printf("necessary bandwidth:  %.4f blocks/unit\n", necessary)
+	fmt.Printf("Eq-1/2 bandwidth:     %d blocks/unit (overhead %.1f%%)\n",
+		sufficient, 100*core.Overhead(files, sufficient))
+	fmt.Printf("chosen bandwidth:     %d blocks/unit\n", bandwidth)
+
+	p, err := core.BuildProgram(files, bandwidth)
+	if err != nil {
+		return err
+	}
+	if err := writeProgram(p); err != nil {
+		return err
+	}
+	fmt.Printf("program period:       %d slots (%s)\n", p.Period, p.Origin)
+	fmt.Printf("program data cycle:   %d slots\n", p.DataCycle())
+	fmt.Printf("utilization:          %.1f%%\n", 100*utilization(p))
+	for i, f := range files {
+		fmt.Printf("  %-12s m=%d r=%d window=%d slots/period=%d δ=%d\n",
+			f.Name, f.Blocks, f.Faults, bandwidth*f.Latency, p.PerPeriod(i), p.MaxGap(i))
+	}
+	if p.Period <= 64 {
+		fmt.Printf("program:              %s\n", p)
+	}
+	return nil
+}
+
+func runGeneralized(s spec) error {
+	files := make([]core.GenFileSpec, len(s.Generalized))
+	for i, f := range s.Generalized {
+		files[i] = core.GenFileSpec{Name: f.Name, Blocks: f.Blocks, Latencies: f.Latencies}
+	}
+	res, err := core.BuildGeneralizedProgram(files)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("files:             %d\n", len(files))
+	fmt.Printf("nice conjunct:     %s\n", res.Conjunct)
+	fmt.Printf("conjunct density:  %.4f\n", res.Conjunct.Density())
+	fmt.Printf("program period:    %d slots (%s)\n", res.Program.Period, res.Program.Origin)
+	for i, f := range files {
+		fmt.Printf("  %-12s m=%d d⃗=%v slots/period=%d δ=%d\n",
+			f.Name, f.Blocks, f.Latencies, res.Program.PerPeriod(i), res.Program.MaxGap(i))
+	}
+	if res.Program.Period <= 64 {
+		fmt.Printf("program:           %s\n", res.Program)
+	}
+	return nil
+}
+
+// outPath is the -out flag; empty means no program file is written.
+var outPath string
+
+// writeProgram serializes the program to outPath when set.
+func writeProgram(p *core.Program) error {
+	if outPath == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("program written:      %s (%d bytes)\n", outPath, len(data))
+	return nil
+}
+
+func utilization(p *core.Program) float64 {
+	busy := 0
+	for _, v := range p.Slots {
+		if v != core.Idle {
+			busy++
+		}
+	}
+	return float64(busy) / float64(p.Period)
+}

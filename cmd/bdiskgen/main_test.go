@@ -1,0 +1,75 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestSpecParsing(t *testing.T) {
+	raw := []byte(`{
+		"files": [
+			{"name": "traffic", "blocks": 4, "latency": 8, "faults": 1},
+			{"name": "map", "blocks": 8, "latency": 40, "width": 12}
+		]
+	}`)
+	var s spec
+	if err := json.Unmarshal(raw, &s); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Files) != 2 || s.Files[0].Faults != 1 || s.Files[1].Width != 12 {
+		t.Fatalf("parsed %+v", s)
+	}
+}
+
+func TestGeneralizedSpecParsing(t *testing.T) {
+	raw := []byte(`{"generalized": [{"name": "A", "blocks": 2, "latencies": [8, 10]}]}`)
+	var s spec
+	if err := json.Unmarshal(raw, &s); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Generalized) != 1 || len(s.Generalized[0].Latencies) != 2 {
+		t.Fatalf("parsed %+v", s)
+	}
+}
+
+func TestRunRegular(t *testing.T) {
+	var s spec
+	raw := []byte(`{"files": [
+		{"name": "a", "blocks": 2, "latency": 8, "faults": 1},
+		{"name": "b", "blocks": 1, "latency": 6}
+	]}`)
+	if err := json.Unmarshal(raw, &s); err != nil {
+		t.Fatal(err)
+	}
+	if err := runRegular(s, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := runRegular(s, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunGeneralized(t *testing.T) {
+	var s spec
+	raw := []byte(`{"generalized": [
+		{"name": "A", "blocks": 2, "latencies": [8, 10]},
+		{"name": "B", "blocks": 1, "latencies": [6]}
+	]}`)
+	if err := json.Unmarshal(raw, &s); err != nil {
+		t.Fatal(err)
+	}
+	if err := runGeneralized(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRegularRejectsBadSpec(t *testing.T) {
+	var s spec
+	raw := []byte(`{"files": [{"name": "a", "blocks": 0, "latency": 8}]}`)
+	if err := json.Unmarshal(raw, &s); err != nil {
+		t.Fatal(err)
+	}
+	if err := runRegular(s, 0); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}

@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestRunSmoke(t *testing.T) {
+	if err := run(4, 6, 0.05, false, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBurstModel(t *testing.T) {
+	if err := run(3, 4, 0.04, true, 1, 5); err != nil {
+		t.Fatal(err)
+	}
+}

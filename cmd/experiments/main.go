@@ -1,0 +1,39 @@
+// Command experiments regenerates every table and figure of the paper
+// (the experiment index of DESIGN.md) and prints them to stdout. Its
+// output is the source of EXPERIMENTS.md.
+//
+// Usage:
+//
+//	experiments [-only E3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pinbcast/internal/exp"
+)
+
+func main() {
+	only := flag.String("only", "", "run only the experiment with this ID (e.g. E3)")
+	flag.Parse()
+
+	tables, err := exp.All()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	printed := 0
+	for _, t := range tables {
+		if *only != "" && t.ID != *only {
+			continue
+		}
+		t.Fprint(os.Stdout)
+		printed++
+	}
+	if printed == 0 {
+		fmt.Fprintf(os.Stderr, "experiments: no experiment %q\n", *only)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,30 @@
+package main
+
+import "testing"
+
+func TestParseTasks(t *testing.T) {
+	sys, err := parseTasks([]string{"1/2", "2/5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sys) != 2 || sys[0].A != 1 || sys[0].B != 2 || sys[1].A != 2 || sys[1].B != 5 {
+		t.Fatalf("parsed %v", sys)
+	}
+}
+
+func TestParseTasksErrors(t *testing.T) {
+	cases := [][]string{
+		nil,
+		{"12"},
+		{"a/2"},
+		{"1/b"},
+		{"1/2/3"},
+		{"3/2"}, // A > B fails validation
+		{"0/2"},
+	}
+	for _, args := range cases {
+		if _, err := parseTasks(args); err == nil {
+			t.Errorf("parseTasks(%v) accepted", args)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+// Package pinbcast is a Go implementation of fault-tolerant real-time
+// broadcast disks built on pinwheel scheduling, reproducing Baruah &
+// Bestavros, "Pinwheel Scheduling for Fault-tolerant Broadcast Disks in
+// Real-time Database Systems" (BUCS-TR-96-023 / ICDE 1997).
+//
+// A broadcast disk server continuously transmits database files on a
+// downstream channel; clients fetch data "as it goes by". This package
+// constructs broadcast programs that guarantee, for each file i of mᵢ
+// blocks, retrieval within a latency Tᵢ even when up to rᵢ block
+// transmissions are destroyed in transit:
+//
+//   - files are erasure-coded with Rabin's Information Dispersal
+//     Algorithm (any mᵢ of the transmitted blocks reconstruct the file),
+//   - the demand "mᵢ+rᵢ block slots in every window of B·Tᵢ slots" is
+//     scheduled as the pinwheel task system {(mᵢ+rᵢ, B·Tᵢ)},
+//   - the channel bandwidth B is sized with the paper's Equations 1–2
+//     (at most 43% above the information-theoretic minimum), and
+//   - files with per-fault-level latency vectors are handled through
+//     the paper's pinwheel algebra (§4), mechanized here by a certifying
+//     forcing engine.
+//
+// The top-level package is a facade over the implementation packages:
+//
+//	internal/gf256     GF(2⁸) field arithmetic
+//	internal/gfmat     matrix algebra over GF(2⁸)
+//	internal/ida       Rabin IDA and AIDA dispersal
+//	internal/pinwheel  pinwheel schedulers and verifier
+//	internal/algebra   pinwheel algebra and conversions
+//	internal/core      broadcast program construction
+//	internal/server    broadcast server
+//	internal/channel   fault-injecting channel models
+//	internal/client    reconstructing client
+//	internal/sim       end-to-end simulation
+//	internal/rtdb      real-time database layer
+//	internal/workload  scenario generators
+//	internal/exp       paper table/figure reproduction
+//
+// See README.md for a quickstart and DESIGN.md for the system
+// inventory and experiment index.
+package pinbcast

@@ -1,0 +1,172 @@
+package airindex
+
+import (
+	"testing"
+
+	"pinbcast/internal/core"
+)
+
+func baseProgram(t testing.TB) *core.Program {
+	p, err := core.FlatSpread([]core.FileSpec{
+		{Name: "A", Blocks: 5, Latency: 1, DispersalWidth: 10},
+		{Name: "B", Blocks: 3, Latency: 1, DispersalWidth: 6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestBuildValidation(t *testing.T) {
+	base := baseProgram(t)
+	if _, err := Build(nil, 1); err == nil {
+		t.Fatal("nil base accepted")
+	}
+	if _, err := Build(base, 0); err == nil {
+		t.Fatal("zero copies accepted")
+	}
+	if _, err := Build(base, base.Period+1); err == nil {
+		t.Fatal("more copies than slots accepted")
+	}
+}
+
+func TestBuildStructure(t *testing.T) {
+	base := baseProgram(t)
+	for copies := 1; copies <= 4; copies++ {
+		p, err := Build(base, copies)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Period != base.Period+copies*p.IndexLen {
+			t.Fatalf("copies=%d: period %d", copies, p.Period)
+		}
+		// Every base data slot survives, in order.
+		var data []int
+		nIndex := 0
+		for _, s := range p.Slots {
+			switch s.Kind {
+			case Data:
+				data = append(data, s.File)
+			case Index:
+				nIndex++
+			}
+		}
+		if nIndex != copies*p.IndexLen {
+			t.Fatalf("copies=%d: %d index slots", copies, nIndex)
+		}
+		want := 0
+		for t0 := 0; t0 < base.Period; t0++ {
+			if base.FileAt(t0) != core.Idle {
+				if data[want] != base.FileAt(t0) {
+					t.Fatalf("copies=%d: data order broken at %d", copies, want)
+				}
+				want++
+			}
+		}
+	}
+}
+
+func TestOverheadGrowsWithCopies(t *testing.T) {
+	base := baseProgram(t)
+	prev := 0.0
+	for copies := 1; copies <= 4; copies++ {
+		p, err := Build(base, copies)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o := p.Overhead(); o <= prev {
+			t.Fatalf("overhead not increasing: %v after %v", o, prev)
+		} else {
+			prev = o
+		}
+	}
+}
+
+func TestIndexingCutsTuningTime(t *testing.T) {
+	// The reason indexes exist: tuning time (energy) collapses versus
+	// continuous listening, at a modest latency overhead. The effect
+	// shows on files that occupy a small fraction of the broadcast — a
+	// client after one of many files dozes through everything else.
+	files := make([]core.FileSpec, 8)
+	for i := range files {
+		files[i] = core.FileSpec{Name: string(rune('A' + i)), Blocks: 2, Latency: 1}
+	}
+	base, err := core.FlatSpread(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Build(base, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	latIdx, tunIdx := p.Sweep(0, 2)
+	latRaw, tunRaw := p.SweepUnindexed(0, 2)
+	if tunIdx >= tunRaw/2 {
+		t.Fatalf("indexed tuning %.2f not well below continuous %.2f", tunIdx, tunRaw)
+	}
+	if latIdx > 2.5*latRaw {
+		t.Fatalf("indexed latency %.2f implausibly above %.2f", latIdx, latRaw)
+	}
+	if latRaw != tunRaw {
+		t.Fatal("continuous listening must tune for its whole latency")
+	}
+}
+
+func TestMoreCopiesLowerLatencyPenalty(t *testing.T) {
+	// With one copy a client may wait almost a period for the index;
+	// more copies reduce that wait. Compare the index-wait component.
+	base := baseProgram(t)
+	p1, err := Build(base, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p4, err := Build(base, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wait := func(p *Program) float64 {
+		total := 0
+		for t0 := 0; t0 < p.Period; t0++ {
+			total += p.nextIndex(t0) - t0
+		}
+		return float64(total) / float64(p.Period)
+	}
+	if wait(p4) >= wait(p1) {
+		t.Fatalf("mean index wait with 4 copies (%.2f) not below 1 copy (%.2f)",
+			wait(p4), wait(p1))
+	}
+}
+
+func TestQueryDeterministicBounds(t *testing.T) {
+	base := baseProgram(t)
+	p, err := Build(base, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for t0 := 0; t0 < 2*p.Period; t0++ {
+		for file, blocks := range map[int]int{0: 5, 1: 3} {
+			a := p.Query(file, t0, blocks)
+			if a.Latency < blocks || a.Tuning < blocks {
+				t.Fatalf("t=%d file=%d: impossible access %+v", t0, file, a)
+			}
+			if a.Tuning > a.Latency {
+				t.Fatalf("t=%d file=%d: tuning %d exceeds latency %d",
+					t0, file, a.Tuning, a.Latency)
+			}
+			if a.Latency > 3*p.Period {
+				t.Fatalf("t=%d file=%d: latency %d beyond 3 periods", t0, file, a.Latency)
+			}
+		}
+	}
+}
+
+func BenchmarkIndexedSweep(b *testing.B) {
+	base := baseProgram(b)
+	p, err := Build(base, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		p.Sweep(0, 5)
+	}
+}

@@ -1,0 +1,241 @@
+package algebra
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Convert searches for a low-density nice conjunct of pinwheel
+// conditions implying a broadcast-file condition — the paper's
+// "conversion to nice pinwheel" problem, which it conjectures NP-hard
+// and attacks with heuristics. The search space here generalizes the
+// paper's strategy (TR1, then Lemma 3 + rules R0–R5 + R4):
+//
+//  1. the TR1 candidate (one unit condition);
+//  2. the TR2 candidate (primary + one unit helper per fault level);
+//  3. primary-only candidates pc(i, a₀, b₀): for each a₀, the largest
+//     b₀ whose closed-form forcing meets every fault level — this is
+//     where Example 5's optimal pc(2,3) and Example 6's pc(2,3) come
+//     from;
+//  4. primary + greedy unit helpers: the primary meets level 0 with the
+//     largest feasible window, then for each unmet level a unit helper
+//     with the largest window the forcing engine certifies — this is
+//     where Example 4's R1/R5-optimized pc(1,2) ∧ pc(1,10) comes from.
+//
+// Every candidate is certified by ImpliesBC before being considered;
+// the minimum-density certified candidate wins. Conversion preserves
+// correctness by construction, and optimality is best-effort (the
+// paper's own rules are heuristic for the same reason).
+
+// maxPrimaryA caps the primary computation requirement explored by the
+// converter; beyond max(m+r)+2 larger values only lose density.
+const maxPrimaryA = 64
+
+func almostSame(a, b float64) bool {
+	d := a - b
+	return d < 1e-12 && d > -1e-12
+}
+
+// Convert returns the best nice conjunct found for the condition,
+// certified by the forcing engine.
+func Convert(b BC) (NiceConjunct, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	var best NiceConjunct
+	consider := func(n NiceConjunct, err error) {
+		if err != nil || n == nil {
+			return
+		}
+		if n.Validate() != nil || !ImpliesBC(n, b) {
+			return
+		}
+		// Prefer lower density; at equal density prefer fewer scheduler
+		// tasks (a nice conjunct of one condition schedules more simply).
+		switch {
+		case best == nil,
+			n.Density() < best.Density()-1e-12,
+			almostSame(n.Density(), best.Density()) && len(n) < len(best):
+			best = n
+		}
+	}
+
+	consider(TR1(b))
+	consider(TR2(b))
+
+	aMax := b.M + b.R() + 2
+	if aMax > maxPrimaryA {
+		aMax = maxPrimaryA
+	}
+	for a0 := 1; a0 <= aMax; a0++ {
+		consider(primaryOnly(b, a0))
+		consider(primaryWithHelpers(b, a0))
+	}
+
+	if best == nil {
+		return nil, fmt.Errorf("algebra: no certified conversion found for %s", b)
+	}
+	return best, nil
+}
+
+// maxWindowMeeting returns the largest b such that pc(a, b) alone forces
+// at least need grants into every window of w slots, or 0 if none does.
+// MinGrants is monotone nonincreasing in b, so binary search applies.
+func maxWindowMeeting(a, need, w int) int {
+	if MinGrants(a, a, w) < need {
+		return 0 // even the always-granted task cannot meet it
+	}
+	// For b > w the forcing is max(0, w − (b − a)), which drops below
+	// need once b exceeds w + a − need; w + a is a safe search ceiling.
+	lo, hi := a, w+a
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if MinGrants(a, mid, w) >= need {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// primaryOnly builds the candidate consisting of the single condition
+// pc(i, a₀, b₀) with b₀ = min over fault levels of the largest window
+// meeting that level.
+func primaryOnly(b BC, a0 int) (NiceConjunct, error) {
+	b0 := 0
+	for j, d := range b.D {
+		w := maxWindowMeeting(a0, b.M+j, d)
+		if w == 0 {
+			return nil, fmt.Errorf("algebra: a₀=%d cannot meet level %d of %s", a0, j, b)
+		}
+		if b0 == 0 || w < b0 {
+			b0 = w
+		}
+	}
+	if b0 < a0 {
+		return nil, fmt.Errorf("algebra: primary window %d below a₀=%d", b0, a0)
+	}
+	return NiceConjunct{{PC: PC{Task: b.Task, A: a0, B: b0}, MapsTo: b.Task}}, nil
+}
+
+// primaryWithHelpers sizes the primary for fault level 0 only, then adds
+// one unit helper per uncovered level, each with the largest window the
+// forcing engine certifies.
+func primaryWithHelpers(b BC, a0 int) (NiceConjunct, error) {
+	b0 := maxWindowMeeting(a0, b.M, b.D[0])
+	if b0 < a0 {
+		return nil, fmt.Errorf("algebra: a₀=%d cannot meet level 0 of %s", a0, b)
+	}
+	out := NiceConjunct{{PC: PC{Task: b.Task, A: a0, B: b0}, MapsTo: b.Task}}
+	for j := 1; j < len(b.D); j++ {
+		if certifiesLevel(out, b, j) {
+			continue
+		}
+		c := maxHelperWindow(out, b, j)
+		if c == 0 {
+			return nil, fmt.Errorf("algebra: no helper window covers level %d of %s", j, b)
+		}
+		out = append(out, Mapped{
+			PC:     PC{Task: HelperName(b.Task, j), A: 1, B: c},
+			MapsTo: b.Task,
+		})
+	}
+	return out, nil
+}
+
+// certifiesLevel reports whether the conjunct already forces level j of
+// the condition.
+func certifiesLevel(n NiceConjunct, b BC, j int) bool {
+	groups := groupByTask(n.ForFile(b.Task))
+	g := CombinedMinGrants(groups, maxWindowFor(groups, b.D))
+	return g[b.D[j]] >= b.M+j
+}
+
+// maxHelperWindow binary-searches the largest unit-helper window c such
+// that the conjunct plus pc(·, 1, c) certifies level j. Certification is
+// monotone in c (a helper with a smaller window forces at least as many
+// grants everywhere).
+func maxHelperWindow(n NiceConjunct, b BC, j int) int {
+	try := func(c int) bool {
+		cand := append(append(NiceConjunct{}, n...), Mapped{
+			PC:     PC{Task: "probe", A: 1, B: c},
+			MapsTo: b.Task,
+		})
+		return certifiesLevel(cand, b, j)
+	}
+	hi := 2 * b.D[j]
+	if !try(1) {
+		return 0
+	}
+	lo := 1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if try(mid) {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// ConversionReport captures the quantities the paper reports for its
+// examples: the density lower bound, the densities of the canned
+// transformations, and the best conversion found.
+type ConversionReport struct {
+	Input            BC
+	LowerBound       float64
+	TR1Density       float64 // +Inf-like sentinel (negative) when TR1 fails
+	TR2Density       float64
+	Best             NiceConjunct
+	BestDensity      float64
+	WithinLowerBound float64 // BestDensity/LowerBound − 1
+}
+
+// Report runs the converter and the canned transformations on the
+// condition and summarizes the outcome.
+func Report(b BC) (ConversionReport, error) {
+	rep := ConversionReport{Input: b, LowerBound: b.DensityLowerBound(), TR1Density: -1, TR2Density: -1}
+	if n, err := TR1(b); err == nil {
+		rep.TR1Density = n.Density()
+	}
+	if n, err := TR2(b); err == nil {
+		rep.TR2Density = n.Density()
+	}
+	best, err := Convert(b)
+	if err != nil {
+		return rep, err
+	}
+	rep.Best = best
+	rep.BestDensity = best.Density()
+	rep.WithinLowerBound = rep.BestDensity/rep.LowerBound - 1
+	return rep, nil
+}
+
+// ConvertSystem converts a set of broadcast-file conditions into a
+// single nice conjunct over distinct scheduler tasks, returning the
+// members sorted by task name for determinism.
+func ConvertSystem(bcs []BC) (NiceConjunct, error) {
+	seen := map[string]bool{}
+	var out NiceConjunct
+	for _, b := range bcs {
+		if b.Task == "" {
+			return nil, fmt.Errorf("algebra: file condition without a task name: %s", b)
+		}
+		if seen[b.Task] {
+			return nil, fmt.Errorf("algebra: duplicate task %q", b.Task)
+		}
+		seen[b.Task] = true
+		n, err := Convert(b)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Task < out[j].Task })
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

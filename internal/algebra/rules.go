@@ -1,0 +1,93 @@
+package algebra
+
+import "fmt"
+
+// This file states the paper's pinwheel algebra rules R0–R5 (Figure 8)
+// as explicit constructors. Each RuleN function takes the right-hand
+// side of the rule — the condition(s) a program is assumed to satisfy —
+// and returns the left-hand side it is then guaranteed to satisfy.
+// The tests certify every rule against the forcing engine and against
+// brute-force schedule enumeration, so the engine, the rules and the
+// paper agree.
+
+// R0: pc(i, a−x, b+y) ⇐ pc(i, a, b). Weakening: fewer grants demanded
+// of a larger window.
+func R0(p PC, x, y int) (PC, error) {
+	if x < 0 || y < 0 {
+		return PC{}, fmt.Errorf("algebra: R0 requires x, y ≥ 0 (got %d, %d)", x, y)
+	}
+	q := PC{Task: p.Task, A: p.A - x, B: p.B + y}
+	if err := q.Validate(); err != nil {
+		return PC{}, err
+	}
+	return q, nil
+}
+
+// R1: pc(i, na, nb) ⇐ pc(i, a, b). A window of nb slots contains n
+// disjoint b-windows.
+func R1(p PC, n int) (PC, error) {
+	if n < 1 {
+		return PC{}, fmt.Errorf("algebra: R1 requires n ≥ 1 (got %d)", n)
+	}
+	return PC{Task: p.Task, A: n * p.A, B: n * p.B}, nil
+}
+
+// R2: pc(i, a−x, b−x) ⇐ pc(i, a, b). Shrinking a window by x slots
+// removes at most x grants.
+func R2(p PC, x int) (PC, error) {
+	if x < 0 {
+		return PC{}, fmt.Errorf("algebra: R2 requires x ≥ 0 (got %d)", x)
+	}
+	q := PC{Task: p.Task, A: p.A - x, B: p.B - x}
+	if err := q.Validate(); err != nil {
+		return PC{}, err
+	}
+	return q, nil
+}
+
+// R3: pc(i, 1, ⌊b/a⌋) ⇒ pc(i, a, b). Note the direction: R3 produces a
+// *stronger* unit condition from which the original follows (the paper
+// uses it to reduce general tasks to unit tasks). The returned condition
+// implies p.
+func R3(p PC) PC {
+	return PC{Task: p.Task, A: 1, B: p.B / p.A}
+}
+
+// R4: pc(i, a, b) ∧ pc(i, a+x, b+y) ⇐ pc(i, a, b) ∧ pc(i′, x, b+y) with
+// map(i′, i). The helper task i′ contributes x further grants to the
+// file in every (b+y)-window. R4 returns the helper condition for a
+// fresh scheduler task named helperTask.
+func R4(p PC, x, y int, helperTask string) (Mapped, error) {
+	if x < 1 || y < 0 {
+		return Mapped{}, fmt.Errorf("algebra: R4 requires x ≥ 1, y ≥ 0 (got %d, %d)", x, y)
+	}
+	h := PC{Task: helperTask, A: x, B: p.B + y}
+	if err := h.Validate(); err != nil {
+		return Mapped{}, err
+	}
+	return Mapped{PC: h, MapsTo: p.Task}, nil
+}
+
+// R5: pc(i, a, b) ∧ pc(i, na, nb−x) ⇐ pc(i, a, b) ∧ pc(i′, x, nb) with
+// map(i′, i): in every nb-window the pair contributes na+x grants, so
+// every (nb−x)-window still holds na. R5 returns the helper condition.
+func R5(p PC, n, x int, helperTask string) (Mapped, error) {
+	if n < 1 || x < 1 || x >= n*p.B {
+		return Mapped{}, fmt.Errorf("algebra: R5 requires n ≥ 1 and 1 ≤ x < nb (got n=%d, x=%d)", n, x)
+	}
+	h := PC{Task: helperTask, A: x, B: n * p.B}
+	if err := h.Validate(); err != nil {
+		return Mapped{}, err
+	}
+	return Mapped{PC: h, MapsTo: p.Task}, nil
+}
+
+// R4Target returns the condition R4 establishes: pc(i, a+x, b+y).
+func R4Target(p PC, x, y int) PC {
+	return PC{Task: p.Task, A: p.A + x, B: p.B + y}
+}
+
+// R5Target returns the condition R5 establishes: pc(i, na, nb−x).
+func R5Target(p PC, n, x int) PC {
+	return PC{Task: p.Task, A: n * p.A, B: n*p.B - x}
+}

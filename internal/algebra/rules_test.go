@@ -1,0 +1,146 @@
+package algebra
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Every rule's output must be certified by the forcing engine: the rule's
+// assumed conditions must imply its produced condition.
+
+func TestR0CertifiedByEngine(t *testing.T) {
+	f := func(aS, bS, xS, yS uint8) bool {
+		a := 1 + int(aS)%6
+		b := a + int(bS)%10
+		x := int(xS) % a // keep a−x ≥ 1
+		y := int(yS) % 8
+		p := PC{Task: "i", A: a, B: b}
+		q, err := R0(p, x, y)
+		if err != nil {
+			return true
+		}
+		return Implies(p, q)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestR0Rejects(t *testing.T) {
+	p := PC{Task: "i", A: 2, B: 5}
+	if _, err := R0(p, -1, 0); err == nil {
+		t.Fatal("negative x accepted")
+	}
+	if _, err := R0(p, 2, 0); err == nil {
+		t.Fatal("a−x = 0 accepted")
+	}
+}
+
+func TestR1CertifiedByEngine(t *testing.T) {
+	f := func(aS, bS, nS uint8) bool {
+		a := 1 + int(aS)%6
+		b := a + int(bS)%10
+		n := 1 + int(nS)%5
+		p := PC{Task: "i", A: a, B: b}
+		q, err := R1(p, n)
+		if err != nil {
+			return true
+		}
+		return Implies(p, q)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestR2CertifiedByEngine(t *testing.T) {
+	f := func(aS, bS, xS uint8) bool {
+		a := 2 + int(aS)%6
+		b := a + int(bS)%10
+		x := int(xS) % a
+		p := PC{Task: "i", A: a, B: b}
+		q, err := R2(p, x)
+		if err != nil {
+			return true
+		}
+		return Implies(p, q)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestR3CertifiedByEngine(t *testing.T) {
+	// R3 direction: the produced unit condition implies the original.
+	f := func(aS, bS uint8) bool {
+		a := 1 + int(aS)%6
+		b := a + int(bS)%20
+		p := PC{Task: "i", A: a, B: b}
+		unit := R3(p)
+		return unit.A == 1 && Implies(unit, p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestR4CertifiedByEngine(t *testing.T) {
+	f := func(aS, bS, xS, yS uint8) bool {
+		a := 1 + int(aS)%5
+		b := a + int(bS)%8
+		x := 1 + int(xS)%4
+		y := int(yS) % 6
+		p := PC{Task: "i", A: a, B: b}
+		helper, err := R4(p, x, y, "i'")
+		if err != nil {
+			return true
+		}
+		target := R4Target(p, x, y)
+		groups := [][]PC{{p}, {helper.PC}}
+		g := CombinedMinGrants(groups, maxWindowFor(groups, []int{target.B}))
+		return g[target.B] >= target.A
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestR5CertifiedByEngine(t *testing.T) {
+	f := func(aS, bS, nS, xS uint8) bool {
+		a := 1 + int(aS)%4
+		b := a + int(bS)%6
+		n := 1 + int(nS)%4
+		x := 1 + int(xS)%(n*b)
+		p := PC{Task: "i", A: a, B: b}
+		helper, err := R5(p, n, x, "i'")
+		if err != nil {
+			return true
+		}
+		target := R5Target(p, n, x)
+		if target.A < 1 || target.B < target.A {
+			return true // degenerate target: nothing to certify
+		}
+		groups := [][]PC{{p}, {helper.PC}}
+		g := CombinedMinGrants(groups, maxWindowFor(groups, []int{target.B}))
+		return g[target.B] >= target.A
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestR5PaperInstance(t *testing.T) {
+	// Example 4: pc(i,1,2) ∧ pc(i,5,9) ⇐ pc(i,1,2) ∧ pc(i′,1,10): n=5, x=1.
+	p := PC{Task: "i", A: 1, B: 2}
+	helper, err := R5(p, 5, 1, "i'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if helper.A != 1 || helper.B != 10 {
+		t.Fatalf("helper = %v, want pc(1,10)", helper.PC)
+	}
+	target := R5Target(p, 5, 1)
+	if target.A != 5 || target.B != 9 {
+		t.Fatalf("target = %v, want pc(5,9)", target)
+	}
+}

@@ -1,0 +1,252 @@
+// Package cache implements client cache management for broadcast
+// disks. §1 of Baruah & Bestavros points at the client-side cache and
+// prefetching questions studied by Acharya, Franklin & Zdonik: because
+// a broadcast disk makes some pages cheap to re-fetch (they come around
+// often) and others expensive, the right replacement policy weighs
+// access probability *against broadcast frequency* — the classic PIX
+// policy — rather than recency alone.
+//
+// The package provides an item cache with pluggable replacement
+// policies (LRU, LFU, PIX, random) and a broadcast access simulator
+// that measures hit ratios and mean retrieval latency for a query
+// stream against a broadcast program.
+package cache
+
+import (
+	"container/list"
+	"fmt"
+	"math/rand"
+)
+
+// Policy chooses replacement victims. Implementations keep their own
+// bookkeeping; the cache calls OnHit/OnInsert/OnEvict to maintain it.
+type Policy interface {
+	Name() string
+	// OnHit records an access to a cached key.
+	OnHit(key string)
+	// OnInsert records a newly cached key.
+	OnInsert(key string)
+	// Victim returns the key to evict; it must be a currently cached
+	// key (one previously inserted and not yet evicted).
+	Victim() string
+	// OnEvict tells the policy a key has left the cache.
+	OnEvict(key string)
+}
+
+// Cache is a fixed-capacity item cache.
+type Cache struct {
+	capacity int
+	policy   Policy
+	present  map[string]bool
+}
+
+// New returns a cache holding at most capacity items.
+func New(capacity int, policy Policy) (*Cache, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("cache: capacity %d < 1", capacity)
+	}
+	if policy == nil {
+		return nil, fmt.Errorf("cache: nil policy")
+	}
+	return &Cache{capacity: capacity, policy: policy, present: make(map[string]bool)}, nil
+}
+
+// Len returns the number of cached items.
+func (c *Cache) Len() int { return len(c.present) }
+
+// Contains reports whether key is cached, without touching policy state.
+func (c *Cache) Contains(key string) bool { return c.present[key] }
+
+// Get looks up key, updating policy state on a hit.
+func (c *Cache) Get(key string) bool {
+	if !c.present[key] {
+		return false
+	}
+	c.policy.OnHit(key)
+	return true
+}
+
+// Put inserts key (a no-op if already present), evicting if needed.
+// It returns the evicted key, or "" if none.
+func (c *Cache) Put(key string) string {
+	if c.present[key] {
+		return ""
+	}
+	evicted := ""
+	if len(c.present) >= c.capacity {
+		evicted = c.policy.Victim()
+		if !c.present[evicted] {
+			panic(fmt.Sprintf("cache: policy %s evicted absent key %q", c.policy.Name(), evicted))
+		}
+		delete(c.present, evicted)
+		c.policy.OnEvict(evicted)
+	}
+	c.present[key] = true
+	c.policy.OnInsert(key)
+	return evicted
+}
+
+// LRU evicts the least recently used item.
+type LRU struct {
+	order *list.List               // front = most recent
+	elem  map[string]*list.Element // key -> element
+}
+
+// NewLRU returns an LRU policy.
+func NewLRU() *LRU {
+	return &LRU{order: list.New(), elem: make(map[string]*list.Element)}
+}
+
+// Name returns "LRU".
+func (l *LRU) Name() string { return "LRU" }
+
+// OnHit moves the key to the front.
+func (l *LRU) OnHit(key string) {
+	if e, ok := l.elem[key]; ok {
+		l.order.MoveToFront(e)
+	}
+}
+
+// OnInsert pushes the key to the front.
+func (l *LRU) OnInsert(key string) { l.elem[key] = l.order.PushFront(key) }
+
+// Victim returns the back of the list.
+func (l *LRU) Victim() string { return l.order.Back().Value.(string) }
+
+// OnEvict removes the key.
+func (l *LRU) OnEvict(key string) {
+	if e, ok := l.elem[key]; ok {
+		l.order.Remove(e)
+		delete(l.elem, key)
+	}
+}
+
+// LFU evicts the least frequently used item (ties broken arbitrarily).
+type LFU struct {
+	count  map[string]int
+	cached map[string]bool
+}
+
+// NewLFU returns an LFU policy.
+func NewLFU() *LFU {
+	return &LFU{count: make(map[string]int), cached: make(map[string]bool)}
+}
+
+// Name returns "LFU".
+func (f *LFU) Name() string { return "LFU" }
+
+// OnHit increments the key's frequency.
+func (f *LFU) OnHit(key string) { f.count[key]++ }
+
+// OnInsert starts the key at frequency 1.
+func (f *LFU) OnInsert(key string) {
+	f.count[key]++
+	f.cached[key] = true
+}
+
+// Victim returns the cached key with the lowest count.
+func (f *LFU) Victim() string {
+	best, bestN := "", int(^uint(0)>>1)
+	for k := range f.cached {
+		if f.count[k] < bestN {
+			best, bestN = k, f.count[k]
+		}
+	}
+	return best
+}
+
+// OnEvict forgets cache membership (counts persist, as in classic LFU).
+func (f *LFU) OnEvict(key string) { delete(f.cached, key) }
+
+// PIX evicts the item with the lowest ratio of estimated access
+// probability to broadcast frequency (Acharya et al.'s P-inverse-X):
+// an item broadcast often is cheap to lose even when popular.
+type PIX struct {
+	// Frequency[key] is the item's broadcast frequency (slots per
+	// period); items absent from the map default to 1.
+	Frequency map[string]float64
+	accesses  map[string]int
+	total     int
+	cached    map[string]bool
+}
+
+// NewPIX returns a PIX policy using the given broadcast frequencies.
+func NewPIX(frequency map[string]float64) *PIX {
+	return &PIX{
+		Frequency: frequency,
+		accesses:  make(map[string]int),
+		cached:    make(map[string]bool),
+	}
+}
+
+// Name returns "PIX".
+func (p *PIX) Name() string { return "PIX" }
+
+// OnHit updates the access estimate.
+func (p *PIX) OnHit(key string) { p.accesses[key]++; p.total++ }
+
+// OnInsert updates the access estimate and membership.
+func (p *PIX) OnInsert(key string) {
+	p.accesses[key]++
+	p.total++
+	p.cached[key] = true
+}
+
+// Victim returns the cached key minimizing p̂(key)/x(key).
+func (p *PIX) Victim() string {
+	best, bestV := "", 0.0
+	for k := range p.cached {
+		x := p.Frequency[k]
+		if x <= 0 {
+			x = 1
+		}
+		v := float64(p.accesses[k]) / x
+		if best == "" || v < bestV {
+			best, bestV = k, v
+		}
+	}
+	return best
+}
+
+// OnEvict forgets cache membership.
+func (p *PIX) OnEvict(key string) { delete(p.cached, key) }
+
+// Random evicts a uniformly random cached item — the baseline policy.
+type Random struct {
+	rng   *rand.Rand
+	keys  []string
+	index map[string]int
+}
+
+// NewRandom returns a random-replacement policy.
+func NewRandom(seed int64) *Random {
+	return &Random{rng: rand.New(rand.NewSource(seed)), index: make(map[string]int)}
+}
+
+// Name returns "random".
+func (r *Random) Name() string { return "random" }
+
+// OnHit is a no-op.
+func (r *Random) OnHit(string) {}
+
+// OnInsert tracks the key.
+func (r *Random) OnInsert(key string) {
+	r.index[key] = len(r.keys)
+	r.keys = append(r.keys, key)
+}
+
+// Victim picks a uniformly random cached key.
+func (r *Random) Victim() string { return r.keys[r.rng.Intn(len(r.keys))] }
+
+// OnEvict removes the key by swapping with the tail.
+func (r *Random) OnEvict(key string) {
+	i, ok := r.index[key]
+	if !ok {
+		return
+	}
+	last := len(r.keys) - 1
+	r.keys[i] = r.keys[last]
+	r.index[r.keys[i]] = i
+	r.keys = r.keys[:last]
+	delete(r.index, key)
+}

@@ -1,0 +1,197 @@
+package cache
+
+import (
+	"testing"
+
+	"pinbcast/internal/core"
+)
+
+func TestCacheBasics(t *testing.T) {
+	c, err := New(2, NewLRU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Get("a") {
+		t.Fatal("hit on empty cache")
+	}
+	if ev := c.Put("a"); ev != "" {
+		t.Fatalf("eviction on non-full cache: %q", ev)
+	}
+	c.Put("b")
+	if !c.Get("a") || !c.Get("b") {
+		t.Fatal("cached items missing")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	// Duplicate put is a no-op.
+	if ev := c.Put("a"); ev != "" {
+		t.Fatalf("duplicate put evicted %q", ev)
+	}
+}
+
+func TestCacheValidation(t *testing.T) {
+	if _, err := New(0, NewLRU()); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+	if _, err := New(1, nil); err == nil {
+		t.Fatal("nil policy accepted")
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	c, _ := New(2, NewLRU())
+	c.Put("a")
+	c.Put("b")
+	c.Get("a") // a most recent
+	if ev := c.Put("c"); ev != "b" {
+		t.Fatalf("evicted %q, want b", ev)
+	}
+	if !c.Contains("a") || !c.Contains("c") {
+		t.Fatal("wrong survivors")
+	}
+}
+
+func TestLFUEvictionOrder(t *testing.T) {
+	c, _ := New(2, NewLFU())
+	c.Put("a")
+	c.Put("b")
+	c.Get("a")
+	c.Get("a")
+	c.Get("b")
+	if ev := c.Put("c"); ev != "b" {
+		t.Fatalf("evicted %q, want b (lower frequency)", ev)
+	}
+}
+
+func TestPIXPrefersKeepingRareItems(t *testing.T) {
+	// Two equally popular items; "rare" is broadcast once per period,
+	// "frequent" twenty times. PIX evicts the frequent one: it is cheap
+	// to re-fetch.
+	p := NewPIX(map[string]float64{"rare": 1, "frequent": 20})
+	c, _ := New(2, p)
+	c.Put("rare")
+	c.Put("frequent")
+	c.Get("rare")
+	c.Get("frequent")
+	if ev := c.Put("new"); ev != "frequent" {
+		t.Fatalf("evicted %q, want frequent", ev)
+	}
+}
+
+func TestRandomPolicyEvictsCachedKey(t *testing.T) {
+	c, _ := New(3, NewRandom(1))
+	for _, k := range []string{"a", "b", "c"} {
+		c.Put(k)
+	}
+	for i := 0; i < 20; i++ {
+		ev := c.Put(string(rune('d' + i)))
+		if ev == "" {
+			t.Fatal("full cache did not evict")
+		}
+		if c.Contains(ev) {
+			t.Fatalf("evicted key %q still cached", ev)
+		}
+		if c.Len() != 3 {
+			t.Fatalf("len = %d", c.Len())
+		}
+	}
+}
+
+func skewedProgram(t testing.TB) *core.Program {
+	// File 0 is hot on the air (high broadcast frequency), later files
+	// progressively colder — the classic multi-speed broadcast disk.
+	files := []core.FileSpec{
+		{Name: "hot", Blocks: 1, Latency: 2},
+		{Name: "warm", Blocks: 1, Latency: 8},
+		{Name: "cool", Blocks: 1, Latency: 16},
+		{Name: "cold-1", Blocks: 1, Latency: 32},
+		{Name: "cold-2", Blocks: 1, Latency: 32},
+		{Name: "cold-3", Blocks: 1, Latency: 32},
+	}
+	p, err := core.BuildProgram(files, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSimulateAccessPoliciesCompared(t *testing.T) {
+	prog := skewedProgram(t)
+	freqs := BroadcastFrequencies(prog)
+	if freqs["hot"] <= freqs["cold-1"] {
+		t.Fatalf("program not skewed: %v", freqs)
+	}
+	// The broadcast is tuned to the aggregate population; this client's
+	// preferences disagree: its hottest items are the ones broadcast
+	// rarely (ranking reversed). This is the setting in which
+	// frequency-aware replacement pays (Acharya et al.).
+	ranking := []int{5, 4, 3, 2, 1, 0}
+	run := func(p Policy) *AccessReport {
+		rep, err := SimulateAccess(AccessConfig{
+			Program:  prog,
+			Capacity: 2,
+			Policy:   p,
+			Queries:  4000,
+			ZipfS:    1.7,
+			Ranking:  ranking,
+			Seed:     9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	lru := run(NewLRU())
+	pix := run(NewPIX(freqs))
+	// PIX keeps the rarely-broadcast items the client loves (expensive
+	// to re-fetch) and lets the frequently-broadcast ones go: it must
+	// beat LRU on mean latency.
+	if pix.MeanLatency >= lru.MeanLatency {
+		t.Fatalf("PIX (%.2f) not better than LRU (%.2f)", pix.MeanLatency, lru.MeanLatency)
+	}
+	// Sanity: with an aligned ranking the two are close; no assertion
+	// beyond successful runs.
+	if _, err := SimulateAccess(AccessConfig{
+		Program: prog, Capacity: 2, Policy: NewRandom(3),
+		Queries: 1000, ZipfS: 1.7, Seed: 4,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimulateAccessValidation(t *testing.T) {
+	prog := skewedProgram(t)
+	if _, err := SimulateAccess(AccessConfig{Program: nil, Capacity: 1, Policy: NewLRU(), Queries: 1, ZipfS: 2}); err == nil {
+		t.Fatal("nil program accepted")
+	}
+	if _, err := SimulateAccess(AccessConfig{Program: prog, Capacity: 1, Policy: NewLRU(), Queries: 0, ZipfS: 2}); err == nil {
+		t.Fatal("zero queries accepted")
+	}
+	if _, err := SimulateAccess(AccessConfig{Program: prog, Capacity: 1, Policy: NewLRU(), Queries: 1, ZipfS: 1}); err == nil {
+		t.Fatal("Zipf s = 1 accepted")
+	}
+}
+
+func TestHitRatio(t *testing.T) {
+	r := &AccessReport{Queries: 10, Hits: 4}
+	if r.HitRatio() != 0.4 {
+		t.Fatalf("hit ratio = %v", r.HitRatio())
+	}
+	empty := &AccessReport{}
+	if empty.HitRatio() != 0 {
+		t.Fatal("empty ratio not 0")
+	}
+}
+
+func BenchmarkSimulateAccessLRU(b *testing.B) {
+	prog := skewedProgram(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := SimulateAccess(AccessConfig{
+			Program: prog, Capacity: 2, Policy: NewLRU(),
+			Queries: 1000, ZipfS: 1.7, Seed: int64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package cache
+
+import "testing"
+
+func TestSimulatePrefetchValidation(t *testing.T) {
+	prog := skewedProgram(t)
+	bad := []PrefetchConfig{
+		{Program: nil, Capacity: 1, Queries: 1, ZipfS: 2},
+		{Program: prog, Capacity: 1, Queries: 0, ZipfS: 2},
+		{Program: prog, Capacity: 1, Queries: 1, ZipfS: 1},
+		{Program: prog, Capacity: 0, Queries: 1, ZipfS: 2},
+		{Program: prog, Capacity: 1, Queries: 1, ZipfS: 2, Ranking: []int{0}},
+	}
+	for i, cfg := range bad {
+		if _, err := SimulatePrefetch(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestPrefetchImprovesOnDemandOnly(t *testing.T) {
+	prog := skewedProgram(t)
+	ranking := []int{5, 4, 3, 2, 1, 0}
+	run := func(prefetch bool) *AccessReport {
+		rep, err := SimulatePrefetch(PrefetchConfig{
+			Program:  prog,
+			Capacity: 2,
+			Queries:  4000,
+			ZipfS:    1.7,
+			Ranking:  ranking,
+			Seed:     9,
+			Prefetch: prefetch,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	demand := run(false)
+	prefetch := run(true)
+	// A prefetching client populates the cache from the air without
+	// paying misses: it must not do worse, and on this skewed workload
+	// it should do strictly better on mean latency.
+	if prefetch.MeanLatency > demand.MeanLatency+1e-9 {
+		t.Fatalf("prefetch (%.3f) worse than demand-only (%.3f)",
+			prefetch.MeanLatency, demand.MeanLatency)
+	}
+	if prefetch.HitRatio() < demand.HitRatio() {
+		t.Fatalf("prefetch hit ratio %.3f below demand-only %.3f",
+			prefetch.HitRatio(), demand.HitRatio())
+	}
+}
+
+func TestPrefetchDeterministic(t *testing.T) {
+	prog := skewedProgram(t)
+	cfg := PrefetchConfig{
+		Program: prog, Capacity: 2, Queries: 500, ZipfS: 1.8, Seed: 5, Prefetch: true,
+	}
+	a, err := SimulatePrefetch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulatePrefetch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Hits != b.Hits || a.MeanLatency != b.MeanLatency {
+		t.Fatal("same seed diverged")
+	}
+}

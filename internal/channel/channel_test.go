@@ -1,0 +1,109 @@
+package channel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNone(t *testing.T) {
+	var m None
+	for i := 0; i < 100; i++ {
+		if m.Corrupts(i) {
+			t.Fatal("None corrupted a slot")
+		}
+	}
+	if m.Name() != "none" {
+		t.Fatalf("name = %q", m.Name())
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	m := NewBernoulli(0.1, 7)
+	n, hits := 200000, 0
+	for i := 0; i < n; i++ {
+		if m.Corrupts(i) {
+			hits++
+		}
+	}
+	rate := float64(hits) / float64(n)
+	if math.Abs(rate-0.1) > 0.01 {
+		t.Fatalf("empirical rate = %v, want ≈ 0.1", rate)
+	}
+}
+
+func TestBernoulliDeterministicPerSeed(t *testing.T) {
+	a := NewBernoulli(0.3, 42)
+	b := NewBernoulli(0.3, 42)
+	for i := 0; i < 1000; i++ {
+		if a.Corrupts(i) != b.Corrupts(i) {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestBernoulliRejectsBadP(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("p > 1 accepted")
+		}
+	}()
+	NewBernoulli(1.5, 1)
+}
+
+func TestGilbertElliottBurstiness(t *testing.T) {
+	// Rare transitions into a lossy Bad state produce clustered losses:
+	// the conditional loss probability after a loss must exceed the
+	// marginal loss probability.
+	m := NewGilbertElliott(0.01, 0.1, 0.9, 11)
+	n := 300000
+	losses := 0
+	afterLoss, afterLossLoss := 0, 0
+	prev := false
+	for i := 0; i < n; i++ {
+		c := m.Corrupts(i)
+		if c {
+			losses++
+		}
+		if prev {
+			afterLoss++
+			if c {
+				afterLossLoss++
+			}
+		}
+		prev = c
+	}
+	marginal := float64(losses) / float64(n)
+	conditional := float64(afterLossLoss) / float64(afterLoss)
+	if conditional < 2*marginal {
+		t.Fatalf("losses not bursty: conditional %v vs marginal %v", conditional, marginal)
+	}
+}
+
+func TestGilbertElliottNeverLosesInGoodOnlyModel(t *testing.T) {
+	m := NewGilbertElliott(0, 1, 1, 3) // never leaves Good
+	for i := 0; i < 1000; i++ {
+		if m.Corrupts(i) {
+			t.Fatal("loss while pinned to Good state")
+		}
+	}
+}
+
+func TestSlotSet(t *testing.T) {
+	s := SlotSet{3: true, 7: true}
+	if !s.Corrupts(3) || !s.Corrupts(7) || s.Corrupts(4) {
+		t.Fatal("SlotSet membership wrong")
+	}
+}
+
+func TestEveryNth(t *testing.T) {
+	e := EveryNth{N: 5, Offset: 2}
+	for i := 0; i < 30; i++ {
+		want := i%5 == 2
+		if e.Corrupts(i) != want {
+			t.Fatalf("slot %d: got %v", i, e.Corrupts(i))
+		}
+	}
+	if (EveryNth{N: 0}).Corrupts(3) {
+		t.Fatal("N=0 should never corrupt")
+	}
+}

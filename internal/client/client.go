@@ -1,0 +1,178 @@
+// Package client implements the mobile client of a broadcast-disk
+// system: it listens to the channel, keeps the self-identifying blocks
+// relevant to its pending requests in a small cache, reconstructs files
+// with IDA as soon as any M distinct blocks have arrived, and tracks
+// retrieval deadlines.
+package client
+
+import (
+	"fmt"
+
+	"pinbcast/internal/ida"
+)
+
+// Request asks for one file with a relative deadline.
+type Request struct {
+	File     string
+	Deadline int // slots after the client starts listening; 0 = none
+}
+
+// Result records the outcome of one request.
+type Result struct {
+	File        string
+	Completed   bool
+	Latency     int // slots from start to reconstruction (valid if Completed)
+	Deadline    int
+	DeadlineMet bool
+	Data        []byte
+	BlocksUsed  int
+	Corrupted   int // corrupted receptions observed for this file
+}
+
+// Client collects blocks for a set of requests. The zero value is not
+// usable; construct with New.
+type Client struct {
+	start    int
+	now      int
+	pending  map[string]*pendingFile
+	results  []Result
+	fileName map[uint32]string // file ID -> name, learned from the server mapping
+}
+
+type pendingFile struct {
+	req       Request
+	blocks    map[uint16]*ida.Block
+	corrupted int
+	done      bool
+}
+
+// New returns a client that starts listening at absolute slot start and
+// wants the given requests. names maps server file IDs to names (the
+// paper's self-identifying blocks carry the ID; a directory of names is
+// application metadata).
+func New(start int, names map[uint32]string, reqs []Request) (*Client, error) {
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("client: no requests")
+	}
+	c := &Client{
+		start:    start,
+		now:      start,
+		pending:  make(map[string]*pendingFile, len(reqs)),
+		fileName: names,
+	}
+	for _, r := range reqs {
+		if r.File == "" {
+			return nil, fmt.Errorf("client: request without a file name")
+		}
+		if _, dup := c.pending[r.File]; dup {
+			return nil, fmt.Errorf("client: duplicate request for %q", r.File)
+		}
+		c.pending[r.File] = &pendingFile{req: r, blocks: make(map[uint16]*ida.Block)}
+	}
+	return c, nil
+}
+
+// Start returns the slot at which the client began listening.
+func (c *Client) Start() int { return c.start }
+
+// Done reports whether every request has been completed.
+func (c *Client) Done() bool {
+	for _, p := range c.pending {
+		if !p.done {
+			return false
+		}
+	}
+	return true
+}
+
+// Observe delivers the raw channel contents of slot t to the client:
+// nil for an idle slot, otherwise the (possibly corrupted) marshaled
+// block. Corrupted blocks are detected by checksum and counted against
+// the file they would have served when identifiable, or dropped
+// silently otherwise — exactly the "wait for the next useful block"
+// behaviour of §2.3.
+func (c *Client) Observe(t int, raw []byte) {
+	if t < c.start {
+		return
+	}
+	c.now = t
+	if raw == nil {
+		return
+	}
+	blk, err := ida.Unmarshal(raw)
+	if err != nil {
+		// The block is unreadable; we cannot even tell whose it was.
+		// Charge it to every still-pending file's corruption count is
+		// wrong; charge nobody, as the paper's client simply waits.
+		return
+	}
+	name, ok := c.fileName[blk.FileID]
+	if !ok {
+		return
+	}
+	p, wanted := c.pending[name]
+	if !wanted || p.done {
+		return
+	}
+	p.blocks[blk.Seq] = blk
+	if len(p.blocks) >= int(blk.M) {
+		c.finish(name, p)
+	}
+}
+
+// finish reconstructs the file and records the result.
+func (c *Client) finish(name string, p *pendingFile) {
+	blocks := make([]*ida.Block, 0, len(p.blocks))
+	for _, b := range p.blocks {
+		blocks = append(blocks, b)
+	}
+	data, err := ida.ReconstructFile(blocks)
+	latency := c.now - c.start + 1
+	res := Result{
+		File:       name,
+		Deadline:   p.req.Deadline,
+		Latency:    latency,
+		BlocksUsed: len(blocks),
+		Corrupted:  p.corrupted,
+	}
+	if err == nil {
+		res.Completed = true
+		res.Data = data
+		res.DeadlineMet = p.req.Deadline == 0 || latency <= p.req.Deadline
+	}
+	p.done = true
+	c.results = append(c.results, res)
+}
+
+// NoteCorruption is called by the simulator when it knows slot t's
+// transmission (for the given file name) was destroyed; the client
+// itself may be unable to attribute it. Used for per-file loss
+// accounting in reports.
+func (c *Client) NoteCorruption(name string) {
+	if p, ok := c.pending[name]; ok && !p.done {
+		p.corrupted++
+	}
+}
+
+// Results returns completed request outcomes; files still pending at
+// the end of a simulation are reported by Flush.
+func (c *Client) Results() []Result { return c.results }
+
+// Flush closes out incomplete requests as failures at the given final
+// slot and returns all results.
+func (c *Client) Flush(final int) []Result {
+	for name, p := range c.pending {
+		if p.done {
+			continue
+		}
+		c.results = append(c.results, Result{
+			File:      name,
+			Completed: false,
+			Deadline:  p.req.Deadline,
+			Latency:   final - c.start + 1,
+			Corrupted: p.corrupted,
+		})
+		p.done = true
+	}
+	return c.results
+}

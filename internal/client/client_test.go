@@ -1,0 +1,177 @@
+package client
+
+import (
+	"bytes"
+	"testing"
+
+	"pinbcast/internal/ida"
+)
+
+func disperse(t *testing.T, id uint32, data []byte, m, n int) []*ida.Block {
+	blocks, err := ida.DisperseFile(id, data, m, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blocks
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, nil, nil); err == nil {
+		t.Fatal("no requests accepted")
+	}
+	if _, err := New(0, nil, []Request{{File: ""}}); err == nil {
+		t.Fatal("empty file name accepted")
+	}
+	if _, err := New(0, nil, []Request{{File: "A"}, {File: "A"}}); err == nil {
+		t.Fatal("duplicate request accepted")
+	}
+}
+
+func TestCollectAndReconstruct(t *testing.T) {
+	data := []byte("reconstruct me from any three blocks")
+	blocks := disperse(t, 1, data, 3, 6)
+	c, err := New(0, map[uint32]string{1: "F"}, []Request{{File: "F", Deadline: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Observe(0, blocks[5].Marshal())
+	c.Observe(1, nil) // idle slot
+	c.Observe(2, blocks[1].Marshal())
+	if c.Done() {
+		t.Fatal("done with only two blocks")
+	}
+	c.Observe(3, blocks[3].Marshal())
+	if !c.Done() {
+		t.Fatal("not done after three distinct blocks")
+	}
+	res := c.Results()
+	if len(res) != 1 {
+		t.Fatalf("results = %d", len(res))
+	}
+	r := res[0]
+	if !r.Completed || !bytes.Equal(r.Data, data) {
+		t.Fatalf("bad result %+v", r)
+	}
+	if r.Latency != 4 {
+		t.Fatalf("latency = %d, want 4", r.Latency)
+	}
+	if !r.DeadlineMet {
+		t.Fatal("deadline 10 reported missed")
+	}
+}
+
+func TestDuplicateBlocksDoNotComplete(t *testing.T) {
+	data := []byte("duplicates should not count")
+	blocks := disperse(t, 1, data, 3, 6)
+	c, _ := New(0, map[uint32]string{1: "F"}, []Request{{File: "F"}})
+	c.Observe(0, blocks[0].Marshal())
+	c.Observe(1, blocks[0].Marshal())
+	c.Observe(2, blocks[0].Marshal())
+	if c.Done() {
+		t.Fatal("completed from duplicate blocks")
+	}
+}
+
+func TestCorruptedBlockIgnored(t *testing.T) {
+	data := []byte("checksums protect the client")
+	blocks := disperse(t, 1, data, 2, 4)
+	c, _ := New(0, map[uint32]string{1: "F"}, []Request{{File: "F"}})
+	raw := blocks[0].Marshal()
+	raw[len(raw)-1] ^= 0xff
+	c.Observe(0, raw)
+	if c.Done() {
+		t.Fatal("corrupted block advanced the client")
+	}
+	c.Observe(1, blocks[1].Marshal())
+	c.Observe(2, blocks[2].Marshal())
+	if !c.Done() {
+		t.Fatal("clean blocks did not complete")
+	}
+}
+
+func TestBlocksBeforeStartIgnored(t *testing.T) {
+	data := []byte("early blocks don't count")
+	blocks := disperse(t, 1, data, 2, 4)
+	c, _ := New(5, map[uint32]string{1: "F"}, []Request{{File: "F"}})
+	c.Observe(0, blocks[0].Marshal())
+	c.Observe(1, blocks[1].Marshal())
+	if c.Done() {
+		t.Fatal("blocks before start counted")
+	}
+	c.Observe(5, blocks[2].Marshal())
+	c.Observe(6, blocks[3].Marshal())
+	if !c.Done() {
+		t.Fatal("post-start blocks not counted")
+	}
+	if r := c.Results()[0]; r.Latency != 2 {
+		t.Fatalf("latency = %d, want 2 (relative to start)", r.Latency)
+	}
+}
+
+func TestUnknownAndUnwantedFilesIgnored(t *testing.T) {
+	wanted := disperse(t, 1, []byte("wanted file"), 2, 4)
+	unwanted := disperse(t, 2, []byte("unwanted file"), 2, 4)
+	unknown := disperse(t, 9, []byte("unknown id"), 2, 4)
+	c, _ := New(0, map[uint32]string{1: "F", 2: "G"}, []Request{{File: "F"}})
+	c.Observe(0, unwanted[0].Marshal())
+	c.Observe(1, unknown[0].Marshal())
+	if c.Done() {
+		t.Fatal("unrelated blocks completed the request")
+	}
+	c.Observe(2, wanted[0].Marshal())
+	c.Observe(3, wanted[1].Marshal())
+	if !c.Done() {
+		t.Fatal("wanted blocks did not complete")
+	}
+}
+
+func TestDeadlineMissRecorded(t *testing.T) {
+	data := []byte("late delivery")
+	blocks := disperse(t, 1, data, 2, 4)
+	c, _ := New(0, map[uint32]string{1: "F"}, []Request{{File: "F", Deadline: 2}})
+	c.Observe(0, blocks[0].Marshal())
+	c.Observe(7, blocks[1].Marshal())
+	r := c.Results()[0]
+	if !r.Completed {
+		t.Fatal("not completed")
+	}
+	if r.DeadlineMet {
+		t.Fatalf("deadline met with latency %d > 2", r.Latency)
+	}
+}
+
+func TestFlushIncomplete(t *testing.T) {
+	c, _ := New(0, map[uint32]string{}, []Request{{File: "F", Deadline: 4}})
+	c.NoteCorruption("F")
+	res := c.Flush(9)
+	if len(res) != 1 {
+		t.Fatalf("results = %d", len(res))
+	}
+	r := res[0]
+	if r.Completed {
+		t.Fatal("flush reported completion")
+	}
+	if r.Corrupted != 1 {
+		t.Fatalf("corrupted = %d", r.Corrupted)
+	}
+	if r.Latency != 10 {
+		t.Fatalf("latency = %d, want 10", r.Latency)
+	}
+}
+
+func TestMultipleRequests(t *testing.T) {
+	fa := disperse(t, 1, []byte("file F"), 1, 2)
+	ga := disperse(t, 2, []byte("file G"), 1, 2)
+	c, _ := New(0, map[uint32]string{1: "F", 2: "G"}, []Request{{File: "F"}, {File: "G"}})
+	c.Observe(0, fa[0].Marshal())
+	if c.Done() {
+		t.Fatal("done after one of two requests")
+	}
+	c.Observe(1, ga[1].Marshal())
+	if !c.Done() {
+		t.Fatal("not done after both requests")
+	}
+	if len(c.Results()) != 2 {
+		t.Fatalf("results = %d", len(c.Results()))
+	}
+}

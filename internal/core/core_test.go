@@ -1,0 +1,417 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+// fig5Files are the paper's running example: file A with 5 blocks and
+// file B with 3 blocks, no dispersal (Figure 5).
+func fig5Files() []FileSpec {
+	return []FileSpec{
+		{Name: "A", Blocks: 5, Latency: 1},
+		{Name: "B", Blocks: 3, Latency: 1},
+	}
+}
+
+// fig6Files disperse A into 10 blocks (any 5 suffice) and B into 6
+// (any 3 suffice), as in Figure 6.
+func fig6Files() []FileSpec {
+	return []FileSpec{
+		{Name: "A", Blocks: 5, Latency: 1, DispersalWidth: 10},
+		{Name: "B", Blocks: 3, Latency: 1, DispersalWidth: 6},
+	}
+}
+
+func TestFileSpecValidate(t *testing.T) {
+	cases := []struct {
+		f  FileSpec
+		ok bool
+	}{
+		{FileSpec{Name: "x", Blocks: 1, Latency: 1}, true},
+		{FileSpec{Name: "x", Blocks: 0, Latency: 1}, false},
+		{FileSpec{Name: "x", Blocks: 1, Latency: 0}, false},
+		{FileSpec{Name: "x", Blocks: 1, Latency: 1, Faults: -1}, false},
+		{FileSpec{Name: "x", Blocks: 5, Latency: 1, Faults: 2, DispersalWidth: 6}, false},
+		{FileSpec{Name: "x", Blocks: 5, Latency: 1, Faults: 2, DispersalWidth: 7}, true},
+		{FileSpec{Name: "x", Blocks: 200, Latency: 1, Faults: 100}, false},
+	}
+	for i, c := range cases {
+		if err := c.f.Validate(); (err == nil) != c.ok {
+			t.Errorf("case %d: err = %v, want ok=%v", i, err, c.ok)
+		}
+	}
+}
+
+func TestValidateAllDuplicates(t *testing.T) {
+	files := []FileSpec{
+		{Name: "A", Blocks: 1, Latency: 1},
+		{Name: "A", Blocks: 2, Latency: 1},
+	}
+	if err := ValidateAll(files); err == nil {
+		t.Fatal("duplicate names accepted")
+	}
+	if err := ValidateAll(nil); err == nil {
+		t.Fatal("empty file list accepted")
+	}
+}
+
+func TestFigure5FlatSequential(t *testing.T) {
+	p, err := FlatSequential(fig5Files())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Period != 8 {
+		t.Fatalf("period = %d, want 8", p.Period)
+	}
+	if got := p.String(); got != "A1 A2 A3 A4 A5 B1 B2 B3" {
+		t.Fatalf("program = %q", got)
+	}
+}
+
+func TestFigure5FlatSpread(t *testing.T) {
+	// The paper's Figure 5 program interleaves A and B with δ_A = 2,
+	// δ_B = 3 over a period of 8. The exact permutation is immaterial;
+	// the composition and gap structure are the reproduction target.
+	p, err := FlatSpread(fig5Files())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Period != 8 {
+		t.Fatalf("period = %d, want 8", p.Period)
+	}
+	if c := p.PerPeriod(0); c != 5 {
+		t.Fatalf("A slots = %d, want 5", c)
+	}
+	if c := p.PerPeriod(1); c != 3 {
+		t.Fatalf("B slots = %d, want 3", c)
+	}
+	if g := p.MaxGap(0); g != 2 {
+		t.Fatalf("δ_A = %d, want 2", g)
+	}
+	if g := p.MaxGap(1); g != 3 {
+		t.Fatalf("δ_B = %d, want 3", g)
+	}
+}
+
+func TestFigure6DataCycle(t *testing.T) {
+	// With A dispersed to 10 and B to 6, the broadcast period stays 8
+	// but the program data cycle is 16 (Figure 6).
+	p, err := FlatSpread(fig6Files())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Period != 8 {
+		t.Fatalf("period = %d, want 8", p.Period)
+	}
+	if dc := p.DataCycle(); dc != 16 {
+		t.Fatalf("data cycle = %d, want 16", dc)
+	}
+	// Across one data cycle every dispersed block of each file appears
+	// exactly once.
+	seenA := map[int]int{}
+	seenB := map[int]int{}
+	for t0 := 0; t0 < 16; t0++ {
+		f, seq := p.BlockAt(t0)
+		switch f {
+		case 0:
+			seenA[seq]++
+		case 1:
+			seenB[seq]++
+		}
+	}
+	if len(seenA) != 10 {
+		t.Fatalf("A blocks seen: %d distinct, want 10", len(seenA))
+	}
+	if len(seenB) != 6 {
+		t.Fatalf("B blocks seen: %d distinct, want 6", len(seenB))
+	}
+	for seq, n := range seenA {
+		if n != 1 {
+			t.Fatalf("A block %d transmitted %d times per data cycle", seq, n)
+		}
+	}
+	for seq, n := range seenB {
+		if n != 1 {
+			t.Fatalf("B block %d transmitted %d times per data cycle", seq, n)
+		}
+	}
+}
+
+func TestBlockRotationSequential(t *testing.T) {
+	p, err := FlatSequential([]FileSpec{{Name: "A", Blocks: 2, Latency: 1, DispersalWidth: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 slots per period rotating over 3 blocks: seqs 0,1 | 2,0 | 1,2.
+	want := []int{0, 1, 2, 0, 1, 2}
+	for t0, w := range want {
+		if _, seq := p.BlockAt(t0); seq != w {
+			t.Fatalf("BlockAt(%d) seq = %d, want %d", t0, seq, w)
+		}
+	}
+	if dc := p.DataCycle(); dc != 6 {
+		t.Fatalf("data cycle = %d, want 6", dc)
+	}
+}
+
+func TestNecessaryAndSufficientBandwidth(t *testing.T) {
+	files := []FileSpec{
+		{Name: "A", Blocks: 5, Latency: 10},
+		{Name: "B", Blocks: 3, Latency: 6},
+	}
+	necessary := NecessaryBandwidth(files)
+	if want := 5.0/10.0 + 3.0/6.0; math.Abs(necessary-want) > 1e-12 {
+		t.Fatalf("necessary = %v, want %v", necessary, want)
+	}
+	// Eq 1: ⌈10/7 · 1.0⌉ = 2.
+	if got := SufficientBandwidth(files); got != 2 {
+		t.Fatalf("sufficient = %d, want 2", got)
+	}
+	// At the sufficient bandwidth the density test passes.
+	if !CCFeasible(files, 2) {
+		t.Fatal("density test fails at sufficient bandwidth")
+	}
+	if CCFeasible(files, 1) {
+		t.Fatal("density test passes at necessary bandwidth (density 1 > 0.7)")
+	}
+}
+
+func TestEquation2FaultTolerance(t *testing.T) {
+	base := []FileSpec{
+		{Name: "A", Blocks: 5, Latency: 10},
+		{Name: "B", Blocks: 3, Latency: 6},
+	}
+	b0 := SufficientBandwidth(base)
+	withFaults := []FileSpec{
+		{Name: "A", Blocks: 5, Latency: 10, Faults: 2},
+		{Name: "B", Blocks: 3, Latency: 6, Faults: 2},
+	}
+	b2 := SufficientBandwidth(withFaults)
+	if b2 <= b0 {
+		t.Fatalf("fault tolerance should cost bandwidth: %d vs %d", b2, b0)
+	}
+	// Eq 2: ⌈10/7 · (7/10 + 5/6)⌉ = ⌈2.19⌉ = 3.
+	if b2 != 3 {
+		t.Fatalf("Eq 2 bandwidth = %d, want 3", b2)
+	}
+}
+
+func TestMinBandwidthAtMostSufficient(t *testing.T) {
+	files := []FileSpec{
+		{Name: "A", Blocks: 5, Latency: 10, Faults: 1},
+		{Name: "B", Blocks: 3, Latency: 6, Faults: 1},
+		{Name: "C", Blocks: 8, Latency: 20},
+	}
+	min, err := MinBandwidth(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	suf := SufficientBandwidth(files)
+	if min > suf {
+		t.Fatalf("MinBandwidth %d exceeds Eq-1/2 bandwidth %d", min, suf)
+	}
+	if _, err := BuildProgram(files, min); err != nil {
+		t.Fatalf("program at MinBandwidth failed: %v", err)
+	}
+}
+
+func TestBuildProgramMeetsWindows(t *testing.T) {
+	files := []FileSpec{
+		{Name: "A", Blocks: 5, Latency: 10, Faults: 2},
+		{Name: "B", Blocks: 3, Latency: 6, Faults: 1},
+	}
+	b := SufficientBandwidth(files)
+	p, err := BuildProgram(files, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spot-check beyond the built-in verification: max gap for file i
+	// cannot exceed window/demand · something reasonable; specifically
+	// Lemma 2's δ must allow m+r blocks per window.
+	for i, f := range files {
+		window := b * f.Latency
+		if err := p.VerifyWindows(i, f.Demand(), window); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.Bandwidth != b {
+		t.Fatalf("program bandwidth = %d, want %d", p.Bandwidth, b)
+	}
+}
+
+func TestBuildProgramRejectsLowBandwidth(t *testing.T) {
+	files := []FileSpec{{Name: "A", Blocks: 5, Latency: 1}}
+	// Bandwidth 1 gives window 1 < demand 5.
+	if _, err := BuildProgram(files, 1); err == nil {
+		t.Fatal("window < demand accepted")
+	}
+	if _, err := BuildProgram(files, 0); err == nil {
+		t.Fatal("zero bandwidth accepted")
+	}
+}
+
+func TestBuildProgramAuto(t *testing.T) {
+	files := []FileSpec{
+		{Name: "A", Blocks: 2, Latency: 4},
+		{Name: "B", Blocks: 1, Latency: 3},
+	}
+	p, err := BuildProgramAuto(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Bandwidth != SufficientBandwidth(files) {
+		t.Fatalf("auto bandwidth = %d", p.Bandwidth)
+	}
+}
+
+func TestProgramStringRendering(t *testing.T) {
+	p, err := FlatSpread(fig6Files())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := p.RenderCycle(16)
+	if !strings.Contains(r, "A6'") || !strings.Contains(r, "B6'") {
+		t.Fatalf("data cycle rendering missing rotated blocks: %q", r)
+	}
+}
+
+func TestNewProgramRejectsBadSlots(t *testing.T) {
+	infos := []FileInfo{{Name: "A", M: 1, N: 1, Demand: 1}}
+	if _, err := NewProgram(infos, []int{0, 7}, 0, "t"); err == nil {
+		t.Fatal("unknown file index accepted")
+	}
+	if _, err := NewProgram(infos, nil, 0, "t"); err == nil {
+		t.Fatal("empty program accepted")
+	}
+	if _, err := NewProgram([]FileInfo{{Name: "A", M: 1, N: 1, Demand: 1}, {Name: "B", M: 1, N: 1, Demand: 1}},
+		[]int{0, 0}, 0, "t"); err == nil {
+		t.Fatal("never-scheduled file accepted")
+	}
+}
+
+func TestVerifyWindowsCatchesViolation(t *testing.T) {
+	p, err := FlatSequential(fig5Files())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// File B occupies 3 consecutive slots; a window of 4 starting right
+	// after them contains none.
+	if err := p.VerifyWindows(1, 1, 4); err == nil {
+		t.Fatal("expected violation not reported")
+	}
+	if err := p.VerifyWindows(1, 3, 8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGapsSumToPeriod(t *testing.T) {
+	p, err := FlatSpread(fig5Files())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p.Files {
+		sum := 0
+		for _, g := range p.Gaps(i) {
+			sum += g
+		}
+		if sum != p.Period {
+			t.Fatalf("file %d gaps sum to %d, want %d", i, sum, p.Period)
+		}
+	}
+}
+
+func TestRegularEmbedding(t *testing.T) {
+	f := FileSpec{Name: "A", Blocks: 5, Latency: 10, Faults: 2}
+	g := f.Regular(3)
+	if g.Blocks != 5 || len(g.Latencies) != 3 {
+		t.Fatalf("Regular = %+v", g)
+	}
+	for _, d := range g.Latencies {
+		if d != 30 {
+			t.Fatalf("latency = %d, want 30", d)
+		}
+	}
+}
+
+func TestBuildGeneralizedProgram(t *testing.T) {
+	files := []GenFileSpec{
+		{Name: "A", Blocks: 2, Latencies: []int{8, 10}},
+		{Name: "B", Blocks: 1, Latencies: []int{6, 9}},
+	}
+	res, err := BuildGeneralizedProgram(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Program
+	for i, g := range files {
+		for j, d := range g.Latencies {
+			if err := p.VerifyWindows(i, g.Blocks+j, d); err != nil {
+				t.Fatalf("level %d: %v", j, err)
+			}
+		}
+	}
+	if res.Conjunct.Density() > 1 {
+		t.Fatalf("conjunct density %v > 1", res.Conjunct.Density())
+	}
+}
+
+func TestBuildGeneralizedProgramPaperExamples(t *testing.T) {
+	// Example 2's file alongside Example 3's file: a real mixed workload
+	// through the full §4 pipeline.
+	files := []GenFileSpec{
+		{Name: "E2", Blocks: 5, Latencies: []int{100, 105, 110, 115, 120}},
+		{Name: "E3", Blocks: 6, Latencies: []int{105, 110}},
+	}
+	res, err := BuildGeneralizedProgram(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range files {
+		for j, d := range g.Latencies {
+			if err := res.Program.VerifyWindows(i, g.Blocks+j, d); err != nil {
+				t.Fatalf("file %s level %d: %v", g.Name, j, err)
+			}
+		}
+	}
+}
+
+func TestBuildGeneralizedRejects(t *testing.T) {
+	if _, err := BuildGeneralizedProgram(nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	dup := []GenFileSpec{
+		{Name: "A", Blocks: 1, Latencies: []int{4}},
+		{Name: "A", Blocks: 1, Latencies: []int{5}},
+	}
+	if _, err := BuildGeneralizedProgram(dup); err == nil {
+		t.Fatal("duplicate names accepted")
+	}
+	bad := []GenFileSpec{{Name: "A", Blocks: 5, Latencies: []int{3}}}
+	if _, err := BuildGeneralizedProgram(bad); err == nil {
+		t.Fatal("latency below block count accepted")
+	}
+}
+
+func TestMinBandwidthValidatesInput(t *testing.T) {
+	if _, err := MinBandwidth(nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestOverheadAgainstNecessary(t *testing.T) {
+	files := []FileSpec{{Name: "A", Blocks: 7, Latency: 10}}
+	if o := Overhead(files, 1); math.Abs(o-(1/0.7-1)) > 1e-12 {
+		t.Fatalf("overhead = %v", o)
+	}
+}
+
+func TestErrNoBandwidthWrapped(t *testing.T) {
+	// A file needing more than 256 blocks per window cannot be built,
+	// but bandwidth search errors should still be classified.
+	var target = ErrNoBandwidth
+	_ = target
+	_ = errors.Is // keep errors import honest alongside future checks
+}

@@ -1,0 +1,73 @@
+package core
+
+import "fmt"
+
+// Flat broadcast programs (§2.3, Figures 5 and 6): the broadcast period
+// simply scans through every file's blocks, with no real-time analysis.
+// They are this package's baselines: FlatSequential places each file's
+// blocks back to back; FlatSpread distributes every file's blocks as
+// uniformly as possible, which is the layout Lemma 2 rewards (the
+// worst-case error recovery delay is r·δ, and spreading minimizes δ).
+
+// FlatSequential builds the naive flat program: all blocks of file 1,
+// then all blocks of file 2, and so on. widths[i] = 0 gives file i a
+// dispersal width equal to its block count (plain, non-redundant
+// broadcast as in Figure 5).
+func FlatSequential(files []FileSpec) (*Program, error) {
+	if err := ValidateAll(files); err != nil {
+		return nil, err
+	}
+	var slots []int
+	infos := make([]FileInfo, len(files))
+	for i, f := range files {
+		for k := 0; k < f.Demand(); k++ {
+			slots = append(slots, i)
+		}
+		infos[i] = FileInfo{Name: f.Name, M: f.Blocks, N: f.Width(), Demand: f.Demand()}
+	}
+	return NewProgram(infos, slots, 0, "flat-sequential")
+}
+
+// FlatSpread builds the uniformly-spread flat program: each file
+// receives Demand slots per period, interleaved so that the spacing of
+// each file's slots is as even as possible (a Bresenham-style
+// interleave). For Figure 5's files (5 and 3 blocks) this yields a
+// period of 8 with δ_A = 2 and δ_B = 3.
+func FlatSpread(files []FileSpec) (*Program, error) {
+	if err := ValidateAll(files); err != nil {
+		return nil, err
+	}
+	period := 0
+	for _, f := range files {
+		period += f.Demand()
+	}
+	slots := make([]int, period)
+	credit := make([]float64, len(files))
+	remaining := make([]int, len(files))
+	for i, f := range files {
+		remaining[i] = f.Demand()
+	}
+	for t := 0; t < period; t++ {
+		pick := -1
+		for i, f := range files {
+			if remaining[i] == 0 {
+				continue
+			}
+			credit[i] += float64(f.Demand()) / float64(period)
+			if pick == -1 || credit[i] > credit[pick] {
+				pick = i
+			}
+		}
+		if pick == -1 {
+			return nil, fmt.Errorf("core: internal error: no file to place at slot %d", t)
+		}
+		credit[pick] -= 1
+		remaining[pick]--
+		slots[t] = pick
+	}
+	infos := make([]FileInfo, len(files))
+	for i, f := range files {
+		infos[i] = FileInfo{Name: f.Name, M: f.Blocks, N: f.Width(), Demand: f.Demand()}
+	}
+	return NewProgram(infos, slots, 0, "flat-spread")
+}

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Program serialization: a constructed broadcast program is a
+// deployment artifact — cmd/bdiskgen computes it offline and a server
+// loads it at startup. The JSON form carries exactly the fields needed
+// to rebuild the occurrence index; validation on load re-runs the same
+// checks as construction.
+
+// programJSON is the serialized form of a Program.
+type programJSON struct {
+	Files     []FileInfo `json:"files"`
+	Slots     []int      `json:"slots"`
+	Bandwidth int        `json:"bandwidth"`
+	Origin    string     `json:"origin"`
+}
+
+// MarshalJSON encodes the program.
+func (p *Program) MarshalJSON() ([]byte, error) {
+	return json.Marshal(programJSON{
+		Files:     p.Files,
+		Slots:     p.Slots,
+		Bandwidth: p.Bandwidth,
+		Origin:    p.Origin,
+	})
+}
+
+// UnmarshalJSON decodes and validates a program, rebuilding its
+// occurrence index.
+func (p *Program) UnmarshalJSON(data []byte) error {
+	var raw programJSON
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return fmt.Errorf("core: decoding program: %w", err)
+	}
+	rebuilt, err := NewProgram(raw.Files, raw.Slots, raw.Bandwidth, raw.Origin)
+	if err != nil {
+		return err
+	}
+	*p = *rebuilt
+	return nil
+}
+
+// LoadProgram decodes a serialized program.
+func LoadProgram(data []byte) (*Program, error) {
+	p := new(Program)
+	if err := json.Unmarshal(data, p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

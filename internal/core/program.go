@@ -1,0 +1,219 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"pinbcast/internal/pinwheel"
+)
+
+// Idle marks an unallocated program slot.
+const Idle = pinwheel.Idle
+
+// FileInfo records the per-file parameters a program was built for.
+type FileInfo struct {
+	Name   string
+	M      int // blocks needed to reconstruct
+	N      int // dispersal width the server rotates through
+	Demand int // block slots guaranteed per latency window (m+r)
+}
+
+// Program is a cyclic broadcast program (Definition 1 of §4.1): slot t
+// of the infinite broadcast transmits a block of file Slots[t mod Period]
+// (or nothing, for Idle). Which block of the file is transmitted follows
+// AIDA rotation: the k-th transmission of file i overall carries
+// dispersed block k mod Nᵢ, producing the program data cycle of §2.3.
+type Program struct {
+	Files     []FileInfo
+	Period    int
+	Slots     []int // file index per slot, or Idle
+	Bandwidth int   // blocks per time unit; 0 when latencies were given in slots
+	Origin    string
+
+	// perPeriod[i] is the number of slots of file i per period;
+	// prefix[i][t] counts slots of file i in [0, t).
+	perPeriod []int
+	prefix    [][]int32
+}
+
+// NewProgram assembles a program and precomputes its occurrence index.
+func NewProgram(files []FileInfo, slots []int, bandwidth int, origin string) (*Program, error) {
+	p := &Program{
+		Files:     files,
+		Period:    len(slots),
+		Slots:     slots,
+		Bandwidth: bandwidth,
+		Origin:    origin,
+	}
+	if p.Period == 0 {
+		return nil, fmt.Errorf("core: empty program")
+	}
+	p.perPeriod = make([]int, len(files))
+	p.prefix = make([][]int32, len(files))
+	for i := range files {
+		p.prefix[i] = make([]int32, p.Period+1)
+	}
+	for t, v := range slots {
+		for i := range files {
+			p.prefix[i][t+1] = p.prefix[i][t]
+		}
+		if v == Idle {
+			continue
+		}
+		if v < 0 || v >= len(files) {
+			return nil, fmt.Errorf("core: slot %d names unknown file %d", t, v)
+		}
+		p.perPeriod[v]++
+		p.prefix[v][t+1]++
+	}
+	for i, f := range files {
+		if p.perPeriod[i] == 0 {
+			return nil, fmt.Errorf("core: file %q never scheduled", f.Name)
+		}
+	}
+	return p, nil
+}
+
+// PerPeriod returns how many slots per period carry file i.
+func (p *Program) PerPeriod(i int) int { return p.perPeriod[i] }
+
+// FileAt returns the file index broadcast in slot t of the infinite
+// program, or Idle.
+func (p *Program) FileAt(t int) int { return p.Slots[t%p.Period] }
+
+// BlockAt returns the file index and dispersed block sequence number
+// transmitted in slot t (AIDA rotation), or (Idle, 0) for an idle slot.
+func (p *Program) BlockAt(t int) (file, seq int) {
+	f := p.FileAt(t)
+	if f == Idle {
+		return Idle, 0
+	}
+	k := (t / p.Period) * p.perPeriod[f] // full periods before t
+	k += int(p.prefix[f][t%p.Period])    // occurrences earlier in this period
+	return f, k % p.Files[f].N
+}
+
+// Occurrences returns the slot offsets of file i within one period.
+func (p *Program) Occurrences(i int) []int {
+	var out []int
+	for t, v := range p.Slots {
+		if v == i {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Gaps returns the cyclic distances between consecutive occurrences of
+// file i, in occurrence order starting from the first; the last entry
+// wraps around the period. Sum of gaps equals the period.
+func (p *Program) Gaps(i int) []int {
+	occ := p.Occurrences(i)
+	if len(occ) == 0 {
+		return nil
+	}
+	gaps := make([]int, len(occ))
+	for k := 0; k < len(occ)-1; k++ {
+		gaps[k] = occ[k+1] - occ[k]
+	}
+	gaps[len(occ)-1] = occ[0] + p.Period - occ[len(occ)-1]
+	return gaps
+}
+
+// MaxGap returns δ for file i (Lemma 2): the maximum spacing between
+// consecutive blocks of the file in the broadcast.
+func (p *Program) MaxGap(i int) int {
+	max := 0
+	for _, g := range p.Gaps(i) {
+		if g > max {
+			max = g
+		}
+	}
+	return max
+}
+
+// DataCycle returns the length in slots of the program data cycle
+// (§2.3): the smallest multiple of the period after which every file's
+// block rotation re-aligns with its slots.
+func (p *Program) DataCycle() int {
+	cycle := 1
+	for i := range p.Files {
+		// File i repeats after N/gcd(c, N) periods.
+		c, n := p.perPeriod[i], p.Files[i].N
+		cycle = lcm(cycle, n/gcd(c, n))
+	}
+	return cycle * p.Period
+}
+
+// VerifyWindows checks that every file receives at least `need`
+// occurrences in every cyclic window of `window` slots. It is the
+// broadcast-side analogue of pinwheel verification and is used to
+// validate constructed programs against their specifications.
+func (p *Program) VerifyWindows(file, need, window int) error {
+	total := p.perPeriod[file]
+	full := window / p.Period
+	rem := window % p.Period
+	for start := 0; start < p.Period; start++ {
+		got := full * total
+		if rem > 0 {
+			end := start + rem
+			if end <= p.Period {
+				got += int(p.prefix[file][end] - p.prefix[file][start])
+			} else {
+				got += int(p.prefix[file][p.Period]-p.prefix[file][start]) + int(p.prefix[file][end-p.Period])
+			}
+		}
+		if got < need {
+			return fmt.Errorf("core: file %q gets %d blocks in window at slot %d, needs %d in %d",
+				p.Files[file].Name, got, start, need, window)
+		}
+	}
+	return nil
+}
+
+// String renders one period of the program like the paper's figures,
+// e.g. "A1 A2 B1 A3 B2 A4 B3 A5" (sequence numbers are 1-based).
+func (p *Program) String() string {
+	parts := make([]string, 0, p.Period)
+	for t := 0; t < p.Period; t++ {
+		f, seq := p.BlockAt(t)
+		if f == Idle {
+			parts = append(parts, "⊔")
+			continue
+		}
+		name := p.Files[f].Name
+		if name == "" {
+			name = fmt.Sprintf("F%d", f)
+		}
+		parts = append(parts, fmt.Sprintf("%s%d", name, seq+1))
+	}
+	return strings.Join(parts, " ")
+}
+
+// RenderCycle renders the given number of slots of the infinite
+// program, exposing the data-cycle rotation of Figure 6.
+func (p *Program) RenderCycle(slots int) string {
+	parts := make([]string, 0, slots)
+	for t := 0; t < slots; t++ {
+		f, seq := p.BlockAt(t)
+		if f == Idle {
+			parts = append(parts, "⊔")
+			continue
+		}
+		name := p.Files[f].Name
+		if name == "" {
+			name = fmt.Sprintf("F%d", f)
+		}
+		parts = append(parts, fmt.Sprintf("%s%d'", name, seq+1))
+	}
+	return strings.Join(parts, " ")
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func lcm(a, b int) int { return a / gcd(a, b) * b }

@@ -1,0 +1,99 @@
+package exp
+
+import (
+	"fmt"
+
+	"pinbcast/internal/core"
+	"pinbcast/internal/workload"
+)
+
+// Equation1 regenerates the Eq-1 bandwidth sizing: for growing
+// workloads, the necessary bandwidth Σ mᵢ/Tᵢ, the Eq-1 sufficient
+// bandwidth ⌈10/7·Σ⌉, its overhead (paper: at most 43%), and the
+// smallest bandwidth at which the scheduler portfolio actually builds a
+// program.
+func Equation1(sizes []int, seed int64) (*Table, error) {
+	t := &Table{
+		ID:    "E5",
+		Title: "Equation 1 — bandwidth upper bound (no fault tolerance)",
+		Header: []string{"files", "necessary Σm/T", "Eq-1 B", "Eq-1 overhead",
+			"portfolio min B", "portfolio overhead"},
+	}
+	for _, n := range sizes {
+		files := workload.Random(n, 6, 10, 120, 0, seed+int64(n))
+		necessary := core.NecessaryBandwidth(files)
+		eq1 := core.SufficientBandwidth(files)
+		if float64(eq1) < necessary {
+			return nil, fmt.Errorf("exp: Eq-1 bandwidth below necessary")
+		}
+		minB, err := core.MinBandwidth(files)
+		if err != nil {
+			return nil, err
+		}
+		if minB > eq1 {
+			return nil, fmt.Errorf("exp: portfolio needed more than Eq-1 bandwidth (%d > %d)", minB, eq1)
+		}
+		t.AddRow(n, necessary, eq1, core.Overhead(files, eq1), minB, core.Overhead(files, minB))
+	}
+	t.Notes = append(t.Notes,
+		"Eq-1 overhead stays below 43% + integer rounding; the portfolio often needs less")
+	return t, nil
+}
+
+// Equation2 regenerates the fault-tolerant sizing of Eq 2: bandwidth as
+// a function of the uniform fault tolerance r for a fixed workload.
+func Equation2(maxR int, seed int64) (*Table, error) {
+	t := &Table{
+		ID:    "E6",
+		Title: "Equation 2 — bandwidth vs fault tolerance r",
+		Header: []string{"r", "necessary Σ(m+r)/T", "Eq-2 B", "overhead",
+			"portfolio min B"},
+	}
+	base := workload.Random(12, 6, 10, 120, 0, seed)
+	for r := 0; r <= maxR; r++ {
+		files := make([]core.FileSpec, len(base))
+		copy(files, base)
+		for i := range files {
+			files[i].Faults = r
+		}
+		necessary := core.NecessaryBandwidth(files)
+		eq2 := core.SufficientBandwidth(files)
+		minB, err := core.MinBandwidth(files)
+		if err != nil {
+			return nil, err
+		}
+		if minB > eq2 {
+			return nil, fmt.Errorf("exp: portfolio exceeded Eq-2 bandwidth at r=%d", r)
+		}
+		t.AddRow(r, necessary, eq2, core.Overhead(files, eq2), minB)
+	}
+	t.Notes = append(t.Notes, "bandwidth grows linearly in r, slope Σ 1/Tᵢ (Eq 2)")
+	return t, nil
+}
+
+// PerFileFaults regenerates the per-file-rᵢ generalization at the end
+// of §3.2: larger files tolerate more faults (rᵢ proportional to mᵢ).
+func PerFileFaults(seed int64) (*Table, error) {
+	t := &Table{
+		ID:     "E6b",
+		Title:  "§3.2 per-file fault tolerance rᵢ ∝ mᵢ",
+		Header: []string{"policy", "necessary", "Eq-2 B", "overhead"},
+	}
+	base := workload.Random(12, 8, 10, 120, 0, seed)
+	policies := map[string]func(m int) int{
+		"uniform r=2":   func(int) int { return 2 },
+		"r = ⌈m/4⌉":     func(m int) int { return (m + 3) / 4 },
+		"r = ⌈m/2⌉":     func(m int) int { return (m + 1) / 2 },
+		"no fault tol.": func(int) int { return 0 },
+	}
+	for _, name := range []string{"no fault tol.", "uniform r=2", "r = ⌈m/4⌉", "r = ⌈m/2⌉"} {
+		files := make([]core.FileSpec, len(base))
+		copy(files, base)
+		for i := range files {
+			files[i].Faults = policies[name](files[i].Blocks)
+		}
+		t.AddRow(name, core.NecessaryBandwidth(files), core.SufficientBandwidth(files),
+			core.Overhead(files, core.SufficientBandwidth(files)))
+	}
+	return t, nil
+}

@@ -1,0 +1,169 @@
+package exp
+
+import (
+	"fmt"
+
+	"pinbcast/internal/core"
+)
+
+// fig5Files returns the paper's running example: file A of 5 blocks and
+// file B of 3, no dispersal.
+func fig5Files() []core.FileSpec {
+	return []core.FileSpec{
+		{Name: "A", Blocks: 5, Latency: 1},
+		{Name: "B", Blocks: 3, Latency: 1},
+	}
+}
+
+// fig6Files disperses A into 10 blocks and B into 6, as in Figure 6.
+func fig6Files() []core.FileSpec {
+	return []core.FileSpec{
+		{Name: "A", Blocks: 5, Latency: 1, DispersalWidth: 10},
+		{Name: "B", Blocks: 3, Latency: 1, DispersalWidth: 6},
+	}
+}
+
+// Figure5 regenerates the flat broadcast program of Figure 5: two
+// layouts (sequential and spread), their periods and per-file maximum
+// gaps δ.
+func Figure5() (*Table, error) {
+	t := &Table{
+		ID:     "E1",
+		Title:  "Figure 5 — flat broadcast program (A: 5 blocks, B: 3 blocks)",
+		Header: []string{"layout", "period τ", "program", "δ_A", "δ_B"},
+	}
+	for _, build := range []func([]core.FileSpec) (*core.Program, error){
+		core.FlatSequential, core.FlatSpread,
+	} {
+		p, err := build(fig5Files())
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(p.Origin, p.Period, p.String(), p.MaxGap(0), p.MaxGap(1))
+	}
+	t.Notes = append(t.Notes,
+		"paper period τ = 8; paper layout interleaves with δ_A = 2, δ_B = 3 (spread layout)")
+	return t, nil
+}
+
+// Figure6 regenerates the AIDA-based flat program of Figure 6: same
+// broadcast period, but blocks rotate over the dispersed widths,
+// yielding the 16-slot program data cycle.
+func Figure6() (*Table, error) {
+	p, err := core.FlatSpread(fig6Files())
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "E2",
+		Title:  "Figure 6 — AIDA flat program (A: 5→10, B: 3→6)",
+		Header: []string{"quantity", "value"},
+	}
+	t.AddRow("broadcast period", p.Period)
+	t.AddRow("program data cycle", p.DataCycle())
+	t.AddRow("data cycle contents", p.RenderCycle(p.DataCycle()))
+	t.AddRow("δ_A", p.MaxGap(0))
+	t.AddRow("δ_B", p.MaxGap(1))
+	t.Notes = append(t.Notes, "paper: period 8, data cycle 16; every dispersed block appears once per cycle")
+	return t, nil
+}
+
+// Figure7 regenerates the worst-case delay comparison of Figure 7 and
+// sets it against the paper's reported estimates.
+func Figure7() (*Table, error) {
+	aida, err := core.FlatSpread(fig6Files())
+	if err != nil {
+		return nil, err
+	}
+	flat, err := core.FlatSpread(fig5Files())
+	if err != nil {
+		return nil, err
+	}
+	dt, err := core.BuildDelayTable(aida, flat, 3)
+	if err != nil {
+		return nil, err
+	}
+	paperIDA := []int{0, 3, 4, 6, 7, 8}
+	paperFlat := []int{0, 8, 16, 24, 32, 40}
+	t := &Table{
+		ID:    "E3",
+		Title: "Figure 7 — worst-case delay vs number of errors",
+		Header: []string{"errors", "with IDA (measured)", "with IDA (paper)",
+			"without IDA (measured)", "without IDA (paper)", "Lemma 2 bound r·δ"},
+	}
+	for i, r := range dt.Errors {
+		t.AddRow(r, dt.WithIDA[i], paperIDA[r], dt.Without[i], paperFlat[r],
+			core.Lemma2Bound(r, 3))
+	}
+	// Errors beyond file B's tolerance (N−M = 3): report file A alone,
+	// which tolerates up to 5.
+	for r := 4; r <= 5; r++ {
+		d, err := core.AIDADelay(aida, 0, r)
+		if err != nil {
+			return nil, err
+		}
+		fd, err := core.FlatDelay(flat, 0, r)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%d (file A only)", r), d, paperIDA[r], fd, paperFlat[r],
+			core.Lemma2Bound(r, 2))
+	}
+	t.Notes = append(t.Notes,
+		"measured = exact adversarial worst case under the delay definition of internal/core/delay.go",
+		"the paper's with-IDA column is a coarser estimate; the reproduction targets are the",
+		"without-IDA column (exact match), the r·δ bound, and the ≈τ/δ speedup")
+	return t, nil
+}
+
+// LemmaBounds verifies Lemmas 1 and 2 on randomized spread programs and
+// reports how tight the bounds are.
+func LemmaBounds(trials int, seed int64) (*Table, error) {
+	t := &Table{
+		ID:     "E4",
+		Title:  "Lemmas 1 & 2 — delay bounds on random programs",
+		Header: []string{"program", "file", "r", "measured", "bound", "tight"},
+	}
+	progs, err := randomPrograms(trials, seed)
+	if err != nil {
+		return nil, err
+	}
+	for pi, p := range progs {
+		for i := range p.Files {
+			maxR := p.Files[i].N - p.Files[i].M
+			if maxR > 3 {
+				maxR = 3
+			}
+			for r := 1; r <= maxR; r++ {
+				d, err := core.AIDADelay(p, i, r)
+				if err != nil {
+					return nil, err
+				}
+				bound := core.Lemma2Bound(r, p.MaxGap(i))
+				if d > bound {
+					return nil, fmt.Errorf("exp: Lemma 2 violated: %d > %d", d, bound)
+				}
+				t.AddRow(fmt.Sprintf("random-%d", pi), p.Files[i].Name, r, d, bound, d == bound)
+			}
+		}
+	}
+	t.Notes = append(t.Notes, "every measured worst-case delay is within its lemma bound")
+	return t, nil
+}
+
+func randomPrograms(n int, seed int64) ([]*core.Program, error) {
+	progs := make([]*core.Program, 0, n)
+	for k := 0; k < n; k++ {
+		files := []core.FileSpec{
+			{Name: "X", Blocks: 2 + k%4, Latency: 1, DispersalWidth: 2 + k%4 + 3},
+			{Name: "Y", Blocks: 1 + k%3, Latency: 1, DispersalWidth: 1 + k%3 + 3},
+			{Name: "Z", Blocks: 3, Latency: 1, DispersalWidth: 6},
+		}
+		p, err := core.FlatSpread(files)
+		if err != nil {
+			return nil, err
+		}
+		progs = append(progs, p)
+	}
+	return progs, nil
+}

@@ -1,0 +1,32 @@
+package exp
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTimings(t *testing.T) {
+	steps := []struct {
+		name string
+		run  func() error
+	}{
+		{"Figure5", func() error { _, err := Figure5(); return err }},
+		{"Figure6", func() error { _, err := Figure6(); return err }},
+		{"Figure7", func() error { _, err := Figure7(); return err }},
+		{"LemmaBounds", func() error { _, err := LemmaBounds(6, 1); return err }},
+		{"Equation1", func() error { _, err := Equation1([]int{5, 10, 20, 40, 80}, 2); return err }},
+		{"Equation2", func() error { _, err := Equation2(8, 3); return err }},
+		{"PerFileFaults", func() error { _, err := PerFileFaults(4); return err }},
+		{"Example1", func() error { _, err := Example1(); return err }},
+		{"Examples2to6", func() error { _, err := Examples2to6(); return err }},
+		{"DensitySweep", func() error { _, err := DensitySweep([]float64{0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}, 40, 5); return err }},
+		{"BlockSize", func() error { _, err := BlockSizeTradeoff(16384, []int{2, 4, 8, 16, 32, 64}); return err }},
+	}
+	for _, s := range steps {
+		start := time.Now()
+		if err := s.run(); err != nil {
+			t.Fatalf("%s: %v", s.name, err)
+		}
+		t.Logf("%-14s %v", s.name, time.Since(start))
+	}
+}

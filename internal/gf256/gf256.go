@@ -1,0 +1,175 @@
+// Package gf256 implements arithmetic in the finite field GF(2⁸).
+//
+// The field is realized as polynomials over GF(2) modulo the primitive
+// polynomial x⁸ + x⁴ + x³ + x² + 1 (0x11d), the polynomial commonly used
+// by Reed–Solomon codes. Rabin's Information Dispersal Algorithm (package
+// ida) performs all of its linear algebra over this field: addition is
+// XOR, and multiplication is carried out through discrete exp/log tables
+// so that a multiply costs two table lookups and one addition.
+//
+// All operations are total: Div and Inv panic on division by zero, which
+// in this codebase always indicates a programming error (the dispersal
+// matrices are constructed to be invertible).
+package gf256
+
+// Poly is the primitive reduction polynomial for the field,
+// x⁸ + x⁴ + x³ + x² + 1.
+const Poly = 0x11d
+
+// Generator is the primitive element whose powers enumerate the
+// multiplicative group of the field.
+const Generator = 0x02
+
+var (
+	expTable [512]byte // expTable[i] = Generator^i, doubled to avoid mod 255
+	logTable [256]byte // logTable[x] = i such that Generator^i == x (x != 0)
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		expTable[i] = byte(x)
+		logTable[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= Poly
+		}
+	}
+	for i := 255; i < 512; i++ {
+		expTable[i] = expTable[i-255]
+	}
+}
+
+// Add returns a + b in GF(2⁸). Addition and subtraction coincide.
+func Add(a, b byte) byte { return a ^ b }
+
+// Sub returns a − b in GF(2⁸); identical to Add because the field has
+// characteristic 2.
+func Sub(a, b byte) byte { return a ^ b }
+
+// Mul returns a · b in GF(2⁸).
+func Mul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return expTable[int(logTable[a])+int(logTable[b])]
+}
+
+// MulSlow multiplies by shift-and-reduce, without tables. It exists to
+// cross-check the table construction in tests and as executable
+// documentation of the field definition.
+func MulSlow(a, b byte) byte {
+	var p byte
+	aa, bb := int(a), int(b)
+	for bb > 0 {
+		if bb&1 != 0 {
+			p ^= byte(aa)
+		}
+		aa <<= 1
+		if aa&0x100 != 0 {
+			aa ^= Poly
+		}
+		bb >>= 1
+	}
+	return p
+}
+
+// Div returns a / b in GF(2⁸). It panics if b is zero.
+func Div(a, b byte) byte {
+	if b == 0 {
+		panic("gf256: division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	return expTable[int(logTable[a])+255-int(logTable[b])]
+}
+
+// Inv returns the multiplicative inverse of a. It panics if a is zero.
+func Inv(a byte) byte {
+	if a == 0 {
+		panic("gf256: inverse of zero")
+	}
+	return expTable[255-int(logTable[a])]
+}
+
+// Exp returns Generator^e for e ≥ 0.
+func Exp(e int) byte {
+	if e < 0 {
+		panic("gf256: negative exponent")
+	}
+	return expTable[e%255]
+}
+
+// Log returns the discrete logarithm of a to base Generator.
+// It panics if a is zero, which has no logarithm.
+func Log(a byte) int {
+	if a == 0 {
+		panic("gf256: log of zero")
+	}
+	return int(logTable[a])
+}
+
+// Pow returns a^e in GF(2⁸) for e ≥ 0, with 0⁰ defined as 1.
+func Pow(a byte, e int) byte {
+	if e < 0 {
+		panic("gf256: negative exponent")
+	}
+	if e == 0 {
+		return 1
+	}
+	if a == 0 {
+		return 0
+	}
+	return expTable[(int(logTable[a])*e)%255]
+}
+
+// MulSlice sets dst[i] = c · src[i] for every i. dst and src must have the
+// same length; dst may alias src. It is the inner loop of matrix-vector
+// products in package gfmat and is kept allocation-free.
+func MulSlice(c byte, src, dst []byte) {
+	if len(src) != len(dst) {
+		panic("gf256: MulSlice length mismatch")
+	}
+	if c == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	if c == 1 {
+		copy(dst, src)
+		return
+	}
+	logC := int(logTable[c])
+	for i, s := range src {
+		if s == 0 {
+			dst[i] = 0
+		} else {
+			dst[i] = expTable[logC+int(logTable[s])]
+		}
+	}
+}
+
+// MulAddSlice sets dst[i] ^= c · src[i] for every i, accumulating a scaled
+// row into dst. dst and src must have the same length.
+func MulAddSlice(c byte, src, dst []byte) {
+	if len(src) != len(dst) {
+		panic("gf256: MulAddSlice length mismatch")
+	}
+	if c == 0 {
+		return
+	}
+	if c == 1 {
+		for i, s := range src {
+			dst[i] ^= s
+		}
+		return
+	}
+	logC := int(logTable[c])
+	for i, s := range src {
+		if s != 0 {
+			dst[i] ^= expTable[logC+int(logTable[s])]
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package gf256
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddIsXor(t *testing.T) {
+	if got := Add(0x53, 0xca); got != 0x53^0xca {
+		t.Fatalf("Add(0x53, 0xca) = %#x, want %#x", got, 0x53^0xca)
+	}
+	if got := Sub(0x53, 0xca); got != Add(0x53, 0xca) {
+		t.Fatalf("Sub != Add: %#x", got)
+	}
+}
+
+func TestMulKnownValues(t *testing.T) {
+	// Hand-checked products under polynomial 0x11d.
+	cases := []struct{ a, b, want byte }{
+		{0, 0, 0},
+		{0, 7, 0},
+		{1, 1, 1},
+		{1, 0xff, 0xff},
+		{2, 2, 4},
+		{2, 0x80, 0x1d}, // 0x100 reduces by 0x11d
+		{0x80, 0x80, MulSlow(0x80, 0x80)},
+	}
+	for _, c := range cases {
+		if got := Mul(c.a, c.b); got != c.want {
+			t.Errorf("Mul(%#x, %#x) = %#x, want %#x", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMulMatchesMulSlowExhaustive(t *testing.T) {
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			if Mul(byte(a), byte(b)) != MulSlow(byte(a), byte(b)) {
+				t.Fatalf("Mul(%#x,%#x) != MulSlow", a, b)
+			}
+		}
+	}
+}
+
+func TestMulCommutative(t *testing.T) {
+	f := func(a, b byte) bool { return Mul(a, b) == Mul(b, a) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulAssociative(t *testing.T) {
+	f := func(a, b, c byte) bool { return Mul(Mul(a, b), c) == Mul(a, Mul(b, c)) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistributive(t *testing.T) {
+	f := func(a, b, c byte) bool { return Mul(a, Add(b, c)) == Add(Mul(a, b), Mul(a, c)) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvExhaustive(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		inv := Inv(byte(a))
+		if got := Mul(byte(a), inv); got != 1 {
+			t.Fatalf("a=%#x: a·Inv(a) = %#x, want 1", a, got)
+		}
+	}
+}
+
+func TestDivInvertsMul(t *testing.T) {
+	f := func(a, b byte) bool {
+		if b == 0 {
+			return true
+		}
+		return Div(Mul(a, b), b) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Div(1, 0) did not panic")
+		}
+	}()
+	Div(1, 0)
+}
+
+func TestInvZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Inv(0) did not panic")
+		}
+	}()
+	Inv(0)
+}
+
+func TestExpLogRoundTrip(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		if got := Exp(Log(byte(a))); got != byte(a) {
+			t.Fatalf("Exp(Log(%#x)) = %#x", a, got)
+		}
+	}
+}
+
+func TestLogZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Log(0) did not panic")
+		}
+	}()
+	Log(0)
+}
+
+func TestExpPeriod255(t *testing.T) {
+	for e := 0; e < 255; e++ {
+		if Exp(e) != Exp(e+255) {
+			t.Fatalf("Exp not periodic at e=%d", e)
+		}
+	}
+}
+
+func TestGeneratorIsPrimitive(t *testing.T) {
+	// Powers of the generator must enumerate all 255 nonzero elements.
+	seen := make(map[byte]bool)
+	for e := 0; e < 255; e++ {
+		seen[Exp(e)] = true
+	}
+	if len(seen) != 255 {
+		t.Fatalf("generator enumerates %d elements, want 255", len(seen))
+	}
+}
+
+func TestPow(t *testing.T) {
+	cases := []struct {
+		a    byte
+		e    int
+		want byte
+	}{
+		{0, 0, 1},
+		{0, 5, 0},
+		{1, 100, 1},
+		{2, 1, 2},
+		{2, 8, MulSlow(MulSlow(MulSlow(2, 2), MulSlow(2, 2)), MulSlow(MulSlow(2, 2), MulSlow(2, 2)))},
+	}
+	for _, c := range cases {
+		if got := Pow(c.a, c.e); got != c.want {
+			t.Errorf("Pow(%#x, %d) = %#x, want %#x", c.a, c.e, got, c.want)
+		}
+	}
+}
+
+func TestPowMatchesRepeatedMul(t *testing.T) {
+	for a := 0; a < 256; a += 7 {
+		acc := byte(1)
+		for e := 0; e < 20; e++ {
+			if got := Pow(byte(a), e); got != acc {
+				t.Fatalf("Pow(%#x, %d) = %#x, want %#x", a, e, got, acc)
+			}
+			acc = Mul(acc, byte(a))
+		}
+	}
+}
+
+func TestMulSlice(t *testing.T) {
+	src := []byte{0, 1, 2, 3, 0xff}
+	dst := make([]byte, len(src))
+	for _, c := range []byte{0, 1, 2, 0x1d, 0xff} {
+		MulSlice(c, src, dst)
+		for i := range src {
+			if dst[i] != Mul(c, src[i]) {
+				t.Fatalf("MulSlice c=%#x i=%d: got %#x want %#x", c, i, dst[i], Mul(c, src[i]))
+			}
+		}
+	}
+}
+
+func TestMulAddSlice(t *testing.T) {
+	src := []byte{5, 0, 9, 0xab}
+	for _, c := range []byte{0, 1, 3} {
+		dst := []byte{1, 2, 3, 4}
+		want := make([]byte, len(dst))
+		for i := range dst {
+			want[i] = Add(dst[i], Mul(c, src[i]))
+		}
+		MulAddSlice(c, src, dst)
+		for i := range dst {
+			if dst[i] != want[i] {
+				t.Fatalf("MulAddSlice c=%#x i=%d: got %#x want %#x", c, i, dst[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMulSliceLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MulSlice length mismatch did not panic")
+		}
+	}()
+	MulSlice(1, make([]byte, 3), make([]byte, 4))
+}
+
+func BenchmarkMul(b *testing.B) {
+	var acc byte
+	for i := 0; i < b.N; i++ {
+		acc ^= Mul(byte(i), byte(i>>8))
+	}
+	_ = acc
+}
+
+func BenchmarkMulAddSlice(b *testing.B) {
+	src := make([]byte, 4096)
+	dst := make([]byte, 4096)
+	for i := range src {
+		src[i] = byte(i * 31)
+	}
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulAddSlice(byte(i)|1, src, dst)
+	}
+}

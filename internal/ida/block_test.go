@@ -1,0 +1,203 @@
+package ida
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestBlockMarshalRoundTrip(t *testing.T) {
+	b := &Block{
+		FileID:  77,
+		Seq:     3,
+		M:       5,
+		N:       10,
+		Length:  1234,
+		Payload: []byte("payload bytes"),
+	}
+	got, err := Unmarshal(b.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FileID != b.FileID || got.Seq != b.Seq || got.M != b.M ||
+		got.N != b.N || got.Length != b.Length || !bytes.Equal(got.Payload, b.Payload) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, b)
+	}
+}
+
+func TestBlockMarshalRoundTripQuick(t *testing.T) {
+	f := func(id uint32, seq, m, n uint16, length uint32, payload []byte) bool {
+		b := &Block{FileID: id, Seq: seq, M: m, N: n, Length: length, Payload: payload}
+		got, err := Unmarshal(b.Marshal())
+		if err != nil {
+			return false
+		}
+		return got.FileID == id && got.Seq == seq && got.M == m && got.N == n &&
+			got.Length == length && bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalDetectsCorruption(t *testing.T) {
+	b := &Block{FileID: 1, Seq: 0, M: 2, N: 4, Length: 10, Payload: []byte("0123456789")}
+	raw := b.Marshal()
+	for pos := 0; pos < len(raw); pos++ {
+		bad := append([]byte(nil), raw...)
+		bad[pos] ^= 0xff
+		if _, err := Unmarshal(bad); err == nil {
+			// Flipping the payload-length field may produce a length error
+			// instead of a checksum error, but it must never succeed.
+			t.Fatalf("corruption at byte %d went undetected", pos)
+		}
+	}
+}
+
+func TestUnmarshalShortBlock(t *testing.T) {
+	if _, err := Unmarshal([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short block accepted")
+	}
+}
+
+func TestUnmarshalTruncatedPayload(t *testing.T) {
+	b := &Block{FileID: 1, Seq: 0, M: 1, N: 1, Length: 4, Payload: []byte("abcd")}
+	raw := b.Marshal()
+	if _, err := Unmarshal(raw[:len(raw)-2]); err == nil {
+		t.Fatal("truncated block accepted")
+	}
+}
+
+func TestBlockValidate(t *testing.T) {
+	cases := []struct {
+		b  Block
+		ok bool
+	}{
+		{Block{M: 1, N: 1, Seq: 0}, true},
+		{Block{M: 5, N: 10, Seq: 9}, true},
+		{Block{M: 0, N: 1, Seq: 0}, false},
+		{Block{M: 5, N: 4, Seq: 0}, false},
+		{Block{M: 2, N: 4, Seq: 4}, false},
+	}
+	for i, c := range cases {
+		if err := c.b.Validate(); (err == nil) != c.ok {
+			t.Errorf("case %d: Validate() = %v, want ok=%v", i, err, c.ok)
+		}
+	}
+}
+
+func TestDisperseFileReconstructFile(t *testing.T) {
+	data := []byte("self-identifying blocks allow clients to pick the inverse")
+	blocks, err := DisperseFile(9, data, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 9 {
+		t.Fatalf("got %d blocks, want 9", len(blocks))
+	}
+	for i, b := range blocks {
+		if int(b.Seq) != i || b.FileID != 9 || int(b.M) != 4 || int(b.N) != 9 {
+			t.Fatalf("block %d has wrong identity: %+v", i, b)
+		}
+	}
+	// Reconstruct from an arbitrary 4-subset, out of order.
+	got, err := ReconstructFile([]*Block{blocks[7], blocks[2], blocks[5], blocks[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("mismatch: %q", got)
+	}
+}
+
+func TestReconstructFileInconsistent(t *testing.T) {
+	dataA := []byte("file A contents")
+	dataB := []byte("file B contents")
+	ba, _ := DisperseFile(1, dataA, 2, 4)
+	bb, _ := DisperseFile(2, dataB, 2, 4)
+	if _, err := ReconstructFile([]*Block{ba[0], bb[1]}); err != ErrInconsistent {
+		t.Fatalf("err = %v, want ErrInconsistent", err)
+	}
+}
+
+func TestReconstructFileEmpty(t *testing.T) {
+	if _, err := ReconstructFile(nil); err == nil {
+		t.Fatal("empty block list accepted")
+	}
+}
+
+func TestAllocate(t *testing.T) {
+	data := []byte("AIDA scales redundancy between m and N")
+	blocks, _ := DisperseFile(3, data, 3, 8)
+	for n := 3; n <= 8; n++ {
+		a, err := Allocate(blocks, n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if a.N() != n || len(a.Blocks()) != n {
+			t.Fatalf("n=%d: allocation size wrong", n)
+		}
+		if a.Redundancy() != n-3 {
+			t.Fatalf("n=%d: redundancy = %d, want %d", n, a.Redundancy(), n-3)
+		}
+		// The allocated prefix must still reconstruct the file.
+		got, err := ReconstructFile(a.Blocks()[:3])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("n=%d: allocated blocks cannot reconstruct", n)
+		}
+	}
+}
+
+func TestAllocateOutOfRange(t *testing.T) {
+	data := []byte("range check")
+	blocks, _ := DisperseFile(3, data, 3, 8)
+	if _, err := Allocate(blocks, 2); err == nil {
+		t.Fatal("n < m accepted")
+	}
+	if _, err := Allocate(blocks, 9); err == nil {
+		t.Fatal("n > N accepted")
+	}
+	if _, err := Allocate(nil, 3); err == nil {
+		t.Fatal("empty block list accepted")
+	}
+}
+
+func TestScaleForFaults(t *testing.T) {
+	if got := ScaleForFaults(5, 0); got != 5 {
+		t.Fatalf("ScaleForFaults(5,0) = %d", got)
+	}
+	if got := ScaleForFaults(5, 3); got != 8 {
+		t.Fatalf("ScaleForFaults(5,3) = %d", got)
+	}
+}
+
+func TestOverhead(t *testing.T) {
+	if got := Overhead(5, 10); got != 1.0 {
+		t.Fatalf("Overhead(5,10) = %v, want 1.0", got)
+	}
+	if got := Overhead(4, 5); got != 0.25 {
+		t.Fatalf("Overhead(4,5) = %v, want 0.25", got)
+	}
+}
+
+func BenchmarkBlockMarshal(b *testing.B) {
+	blk := &Block{FileID: 1, Seq: 2, M: 5, N: 10, Length: 4096, Payload: make([]byte, 820)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		blk.Marshal()
+	}
+}
+
+func BenchmarkBlockUnmarshal(b *testing.B) {
+	blk := &Block{FileID: 1, Seq: 2, M: 5, N: 10, Length: 4096, Payload: make([]byte, 820)}
+	raw := blk.Marshal()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unmarshal(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

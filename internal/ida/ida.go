@@ -1,0 +1,241 @@
+package ida
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"pinbcast/internal/gfmat"
+)
+
+// Codec disperses and reconstructs files with fixed parameters (m, n):
+// files are split into m source blocks and dispersed into n ≥ m coded
+// blocks, any m of which reconstruct the file. A Codec is safe for
+// concurrent use; reconstruction inverse matrices are cached per row
+// subset, the precomputation suggested in §2.1 of the paper.
+type Codec struct {
+	m, n int
+	mat  *gfmat.Matrix // n×m dispersal matrix [x_ij]
+
+	mu       sync.Mutex
+	invCache map[string]*gfmat.Matrix // key: sorted row indices
+}
+
+// Dispersal parameter errors.
+var (
+	ErrBadParams      = errors.New("ida: need 1 ≤ m ≤ n ≤ 256")
+	ErrNotEnough      = errors.New("ida: fewer than m distinct blocks available")
+	ErrEmptyFile      = errors.New("ida: cannot disperse an empty file")
+	ErrWrongBlockSize = errors.New("ida: blocks have inconsistent sizes")
+)
+
+// NewCodec returns a Codec dispersing into n blocks with reconstruction
+// threshold m. The dispersal matrix is Vandermonde, so every m-row
+// submatrix is invertible.
+func NewCodec(m, n int) (*Codec, error) {
+	if m < 1 || n < m || n > 256 {
+		return nil, fmt.Errorf("%w (m=%d, n=%d)", ErrBadParams, m, n)
+	}
+	return &Codec{
+		m:        m,
+		n:        n,
+		mat:      gfmat.Vandermonde(n, m),
+		invCache: make(map[string]*gfmat.Matrix),
+	}, nil
+}
+
+// M returns the reconstruction threshold.
+func (c *Codec) M() int { return c.m }
+
+// N returns the dispersal width.
+func (c *Codec) N() int { return c.n }
+
+// shardLen returns the payload length of each dispersed block for a file
+// of dataLen bytes: the file is padded to m equal-length source blocks.
+func (c *Codec) shardLen(dataLen int) int {
+	return (dataLen + c.m - 1) / c.m
+}
+
+// Disperse splits data into m source blocks (zero-padding the tail) and
+// returns the n dispersed payloads. Payload i is Σⱼ mat[i][j]·sourceⱼ,
+// the dispersal operation of Figure 3.
+func (c *Codec) Disperse(data []byte) ([][]byte, error) {
+	if len(data) == 0 {
+		return nil, ErrEmptyFile
+	}
+	l := c.shardLen(len(data))
+	src := make([][]byte, c.m)
+	for j := range src {
+		blk := make([]byte, l)
+		start := j * l
+		if start < len(data) {
+			copy(blk, data[start:min(start+l, len(data))])
+		}
+		src[j] = blk
+	}
+	out := make([][]byte, c.n)
+	for i := 0; i < c.n; i++ {
+		out[i] = encodeRow(c.mat.Row(i), src, l)
+	}
+	return out, nil
+}
+
+func encodeRow(coef []byte, src [][]byte, l int) []byte {
+	acc := make([]byte, l)
+	for j, cj := range coef {
+		if cj != 0 {
+			mulAdd(cj, src[j], acc)
+		}
+	}
+	return acc
+}
+
+// Shard pairs a dispersed payload with its row index in the dispersal
+// matrix (the block's sequence number).
+type Shard struct {
+	Seq  int
+	Data []byte
+}
+
+// Reconstruct recovers the original file of dataLen bytes from any m
+// shards with distinct sequence numbers. Extra shards beyond m are
+// ignored (the first m distinct, in ascending Seq order, are used).
+func (c *Codec) Reconstruct(shards []Shard, dataLen int) ([]byte, error) {
+	if dataLen <= 0 {
+		return nil, ErrEmptyFile
+	}
+	// Deduplicate by sequence number, ascending.
+	bySeq := make(map[int][]byte, len(shards))
+	for _, s := range shards {
+		if s.Seq < 0 || s.Seq >= c.n {
+			return nil, fmt.Errorf("ida: shard seq %d out of range [0,%d)", s.Seq, c.n)
+		}
+		if _, dup := bySeq[s.Seq]; !dup {
+			bySeq[s.Seq] = s.Data
+		}
+	}
+	if len(bySeq) < c.m {
+		return nil, fmt.Errorf("%w: have %d, need %d", ErrNotEnough, len(bySeq), c.m)
+	}
+	seqs := make([]int, 0, len(bySeq))
+	for s := range bySeq {
+		seqs = append(seqs, s)
+	}
+	sort.Ints(seqs)
+	seqs = seqs[:c.m]
+
+	l := c.shardLen(dataLen)
+	rows := make([][]byte, c.m)
+	for i, s := range seqs {
+		if len(bySeq[s]) != l {
+			return nil, fmt.Errorf("%w: shard %d has %d bytes, want %d",
+				ErrWrongBlockSize, s, len(bySeq[s]), l)
+		}
+		rows[i] = bySeq[s]
+	}
+
+	inv, err := c.inverse(seqs)
+	if err != nil {
+		return nil, err
+	}
+	// Reconstruction operation of Figure 3: source_j = Σᵢ inv[j][i]·rowᵢ.
+	out := make([]byte, c.m*l)
+	for j := 0; j < c.m; j++ {
+		dst := out[j*l : (j+1)*l]
+		for i := 0; i < c.m; i++ {
+			if f := inv.At(j, i); f != 0 {
+				mulAdd(f, rows[i], dst)
+			}
+		}
+	}
+	return out[:dataLen], nil
+}
+
+// inverse returns the inverse of the submatrix of the dispersal matrix
+// selected by rows seqs (sorted ascending), caching the result. This is
+// the precomputed [y_ij] of §2.1.
+func (c *Codec) inverse(seqs []int) (*gfmat.Matrix, error) {
+	key := subsetKey(seqs)
+	c.mu.Lock()
+	inv, ok := c.invCache[key]
+	c.mu.Unlock()
+	if ok {
+		return inv, nil
+	}
+	sub := c.mat.SelectRows(seqs)
+	inv, err := sub.Invert()
+	if err != nil {
+		// Cannot happen with a Vandermonde matrix; guard anyway.
+		return nil, fmt.Errorf("ida: dispersal submatrix singular: %w", err)
+	}
+	c.mu.Lock()
+	c.invCache[key] = inv
+	c.mu.Unlock()
+	return inv, nil
+}
+
+// CachedInverses reports how many reconstruction matrices are cached.
+func (c *Codec) CachedInverses() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.invCache)
+}
+
+func subsetKey(seqs []int) string {
+	b := make([]byte, 0, 2*len(seqs))
+	for _, s := range seqs {
+		b = append(b, byte(s>>8), byte(s))
+	}
+	return string(b)
+}
+
+// DisperseFile disperses data into n self-identifying blocks for the
+// given file ID, with reconstruction threshold m.
+func DisperseFile(fileID uint32, data []byte, m, n int) ([]*Block, error) {
+	c, err := NewCodec(m, n)
+	if err != nil {
+		return nil, err
+	}
+	payloads, err := c.Disperse(data)
+	if err != nil {
+		return nil, err
+	}
+	blocks := make([]*Block, n)
+	for i, p := range payloads {
+		blocks[i] = &Block{
+			FileID:  fileID,
+			Seq:     uint16(i),
+			M:       uint16(m),
+			N:       uint16(n),
+			Length:  uint32(len(data)),
+			Payload: p,
+		}
+	}
+	return blocks, nil
+}
+
+// ReconstructFile recovers a file from self-identifying blocks. All
+// blocks must agree on FileID, M, N and Length; at least M blocks with
+// distinct sequence numbers are required.
+func ReconstructFile(blocks []*Block) ([]byte, error) {
+	if len(blocks) == 0 {
+		return nil, ErrNotEnough
+	}
+	ref := blocks[0]
+	if err := ref.Validate(); err != nil {
+		return nil, err
+	}
+	shards := make([]Shard, 0, len(blocks))
+	for _, b := range blocks {
+		if b.FileID != ref.FileID || b.M != ref.M || b.N != ref.N || b.Length != ref.Length {
+			return nil, ErrInconsistent
+		}
+		shards = append(shards, Shard{Seq: int(b.Seq), Data: b.Payload})
+	}
+	c, err := NewCodec(int(ref.M), int(ref.N))
+	if err != nil {
+		return nil, err
+	}
+	return c.Reconstruct(shards, int(ref.Length))
+}

@@ -1,0 +1,222 @@
+package pinwheel
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file implements the "integer reduction" family of pinwheel
+// schedulers (Holte et al. 1989; Chan & Chin 1992): window sizes are
+// specialized (rounded down) to a geometric chain {c·2^k}, after which
+// the specialized system — whose windows pairwise divide one another —
+// is scheduled by buddy allocation of residue classes.
+//
+// A task (a, b′) with specialized window b′ = c·2^k receives a residue
+// classes of modulus b′: every window of b′ consecutive slots then
+// contains exactly one slot from each class, i.e. exactly a grants, so
+// every window of the original size b ≥ b′ contains at least a grants.
+// Processing tasks in nondecreasing specialized-window order, buddy
+// allocation succeeds whenever the specialized density is at most 1.
+//
+// With c a power of two (scheduler Sa), specialization at most halves a
+// window, so any system with density ≤ 1/2 has specialized density ≤ 1
+// and is scheduled — Holte et al.'s bound. Scheduler Sx additionally
+// searches the candidate bases c at which some window's specialization
+// changes, in the spirit of Chan & Chin's integer-reduction schedulers,
+// and keeps whichever base minimizes the specialized density.
+
+// specialize returns the largest c·2^k ≤ b together with 2^k, or an
+// error if b < c.
+func specialize(c, b int) (spec, pow int, err error) {
+	if b < c {
+		return 0, 0, fmt.Errorf("pinwheel: window %d below chain base %d", b, c)
+	}
+	spec, pow = c, 1
+	for spec*2 <= b {
+		spec *= 2
+		pow *= 2
+	}
+	return spec, pow, nil
+}
+
+// SpecializedDensity returns the density of the system after windows are
+// specialized to the chain {c·2^k}, or +Inf if some window is below c.
+func SpecializedDensity(s System, c int) float64 {
+	d := 0.0
+	for _, t := range s {
+		spec, _, err := specialize(c, t.B)
+		if err != nil {
+			return inf()
+		}
+		d += float64(t.A) / float64(spec)
+	}
+	return d
+}
+
+func inf() float64 { return math.Inf(1) }
+
+// residueClass is a set of slots {t : t ≡ offset (mod modulus)}.
+type residueClass struct {
+	offset, modulus int
+}
+
+// ScheduleChain specializes every window to the chain {c·2^k} and
+// schedules by buddy allocation. It fails with ErrSchedulerFailed when
+// the specialized density exceeds 1 (the allocation runs out of
+// classes) and with ErrTooLarge when the resulting period would exceed
+// maxPeriod.
+func ScheduleChain(s System, c int, maxPeriod int) (*Schedule, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if c < 1 {
+		return nil, fmt.Errorf("pinwheel: chain base %d < 1", c)
+	}
+	type specTask struct {
+		idx  int
+		a    int
+		spec int
+	}
+	tasks := make([]specTask, len(s))
+	period := c
+	for i, t := range s {
+		spec, _, err := specialize(c, t.B)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrSchedulerFailed, err)
+		}
+		tasks[i] = specTask{idx: i, a: t.A, spec: spec}
+		if spec > period {
+			period = spec
+		}
+	}
+	if period > maxPeriod {
+		return nil, fmt.Errorf("%w: period %d exceeds limit %d", ErrTooLarge, period, maxPeriod)
+	}
+	sort.Slice(tasks, func(i, j int) bool { return tasks[i].spec < tasks[j].spec })
+
+	// Free residue classes, grouped by modulus. Initially the c classes
+	// of modulus c partition the timeline.
+	free := make(map[int][]int) // modulus -> offsets
+	moduli := []int{c}
+	for o := 0; o < c; o++ {
+		free[c] = append(free[c], o)
+	}
+
+	slots := make([]int, period)
+	for t := range slots {
+		slots[t] = Idle
+	}
+
+	for _, tk := range tasks {
+		for grant := 0; grant < tk.a; grant++ {
+			cls, ok := takeClass(free, &moduli, tk.spec)
+			if !ok {
+				return nil, fmt.Errorf("%w: buddy allocation exhausted at task %d (specialized density %.4f)",
+					ErrSchedulerFailed, tk.idx, SpecializedDensity(s, c))
+			}
+			for t := cls.offset; t < period; t += cls.modulus {
+				slots[t] = tk.idx
+			}
+		}
+	}
+	return NewSchedule(slots, fmt.Sprintf("chain(c=%d)", c)), nil
+}
+
+// takeClass removes and returns a free residue class of modulus exactly
+// want, splitting a larger-density (smaller-modulus) class if needed.
+// Classes are chosen best-fit: the largest available modulus ≤ want.
+func takeClass(free map[int][]int, moduli *[]int, want int) (residueClass, bool) {
+	// Best fit: largest modulus ≤ want with a free offset.
+	best := 0
+	for _, m := range *moduli {
+		if m <= want && m > best && len(free[m]) > 0 {
+			best = m
+		}
+	}
+	if best == 0 {
+		return residueClass{}, false
+	}
+	offs := free[best]
+	off := offs[len(offs)-1]
+	free[best] = offs[:len(offs)-1]
+	// Split (off, m) into (off, 2m) kept and (off+m, 2m) freed, until the
+	// modulus reaches want.
+	m := best
+	for m < want {
+		if _, seen := free[2*m]; !seen {
+			*moduli = append(*moduli, 2*m)
+		}
+		free[2*m] = append(free[2*m], off+m)
+		m *= 2
+	}
+	return residueClass{offset: off, modulus: want}, true
+}
+
+// DefaultMaxPeriod bounds the period of schedules produced by the chain
+// schedulers; beyond this the memory cost of materializing the cyclic
+// schedule outweighs its usefulness.
+const DefaultMaxPeriod = 1 << 22
+
+// Sa is Holte et al.'s single-number scheduler: windows are specialized
+// to powers of two. It is guaranteed to succeed whenever the system
+// density is at most 1/2, and succeeds more generally whenever the
+// power-of-two specialized density is at most 1.
+func Sa(s System) (*Schedule, error) {
+	sch, err := ScheduleChain(s, 1, DefaultMaxPeriod)
+	if err != nil {
+		return nil, err
+	}
+	sch.Origin = "Sa"
+	return sch, nil
+}
+
+// CandidateBases returns the chain bases worth trying for Sx: every
+// value ⌊b/2^k⌋ that lies in (minB/2, minB], where minB is the smallest
+// window. Bases outside that half-open interval are either infeasible
+// (> minB) or equivalent to one inside it (a base c ≤ minB/2 specializes
+// every window ≥ minB exactly as base 2c does).
+func CandidateBases(s System) []int {
+	minB := s.MinWindow()
+	lo := minB / 2 // exclusive
+	set := map[int]bool{}
+	for _, t := range s {
+		for b := t.B; b > lo; b /= 2 {
+			if b <= minB {
+				set[b] = true
+			}
+		}
+	}
+	set[minB] = true
+	bases := make([]int, 0, len(set))
+	for c := range set {
+		bases = append(bases, c)
+	}
+	sort.Ints(bases)
+	return bases
+}
+
+// Sx is the optimized-base integer-reduction scheduler: it evaluates
+// every candidate base and schedules with the one minimizing the
+// specialized density. It strictly dominates Sa on systems whose
+// windows cluster away from powers of two.
+func Sx(s System) (*Schedule, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	bestC, bestD := 0, inf()
+	for _, c := range CandidateBases(s) {
+		if d := SpecializedDensity(s, c); d < bestD {
+			bestC, bestD = c, d
+		}
+	}
+	if bestC == 0 || bestD > 1.0 {
+		return nil, fmt.Errorf("%w: best specialized density %.4f > 1", ErrSchedulerFailed, bestD)
+	}
+	sch, err := ScheduleChain(s, bestC, DefaultMaxPeriod)
+	if err != nil {
+		return nil, err
+	}
+	sch.Origin = fmt.Sprintf("Sx(c=%d)", bestC)
+	return sch, nil
+}

@@ -1,0 +1,102 @@
+package pinwheel
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Options configures the portfolio scheduler.
+type Options struct {
+	// MaxPeriod bounds the period of chain-scheduler output
+	// (default DefaultMaxPeriod).
+	MaxPeriod int
+	// EDFMaxSlots bounds the EDF simulation (default EDFMaxSlots).
+	EDFMaxSlots int
+	// ExactMaxStates bounds the exact search (default ExactMaxStates).
+	// Set negative to disable the exact fallback.
+	ExactMaxStates int
+}
+
+func (o *Options) withDefaults() Options {
+	var out Options
+	if o != nil {
+		out = *o
+	}
+	if out.MaxPeriod == 0 {
+		out.MaxPeriod = DefaultMaxPeriod
+	}
+	if out.EDFMaxSlots == 0 {
+		out.EDFMaxSlots = EDFMaxSlots
+	}
+	if out.ExactMaxStates == 0 {
+		out.ExactMaxStates = ExactMaxStates
+	}
+	return out
+}
+
+// Solve runs the scheduler portfolio — Sx (which subsumes Sa), then
+// EDF, then exact search — returning the first verified schedule. The
+// returned schedule's Origin names the scheduler that produced it.
+//
+// The error is ErrInfeasible only when infeasibility is proved (density
+// above 1, or the exact search exhausts the state graph); otherwise a
+// failure wraps ErrSchedulerFailed or ErrTooLarge and the instance's
+// feasibility is undecided.
+func Solve(s System, opts *Options) (*Schedule, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if s.Density() > 1.0+1e-12 {
+		return nil, fmt.Errorf("%w: density %.4f exceeds 1", ErrInfeasible, s.Density())
+	}
+	o := opts.withDefaults()
+
+	var firstErr error
+	note := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+
+	if sch, err := Sx(s); err == nil {
+		return sch, nil
+	} else {
+		note(err)
+	}
+	if sch, err := TwoDistinct(s); err == nil {
+		return sch, nil
+	}
+	if sch, err := EDF(s, o.EDFMaxSlots); err == nil {
+		return sch, nil
+	} else {
+		note(err)
+	}
+	if o.ExactMaxStates > 0 {
+		sch, err := Exact(s, o.ExactMaxStates)
+		if err == nil {
+			return sch, nil
+		}
+		if errors.Is(err, ErrInfeasible) {
+			return nil, err
+		}
+		note(err)
+	}
+	return nil, fmt.Errorf("%w (first failure: %v)", ErrSchedulerFailed, firstErr)
+}
+
+// Schedulers returns the individual portfolio members keyed by name, in
+// portfolio order. Experiment E9 sweeps them separately.
+func Schedulers() []NamedScheduler {
+	return []NamedScheduler{
+		{"Sa", func(s System) (*Schedule, error) { return Sa(s) }},
+		{"Sx", func(s System) (*Schedule, error) { return Sx(s) }},
+		{"EDF", func(s System) (*Schedule, error) { return EDF(s, 0) }},
+		{"Portfolio", func(s System) (*Schedule, error) { return Solve(s, nil) }},
+	}
+}
+
+// NamedScheduler pairs a scheduler function with its display name.
+type NamedScheduler struct {
+	Name string
+	Run  func(System) (*Schedule, error)
+}

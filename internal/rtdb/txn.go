@@ -1,0 +1,130 @@
+package rtdb
+
+import (
+	"fmt"
+
+	"pinbcast/internal/core"
+)
+
+// Read-only client transactions over broadcast data (§1: the paper's
+// motivating clients are transactions that must complete data
+// retrieval before a deadline). A transaction reads a set of items; a
+// broadcast client collects all of them concurrently, so the
+// transaction's retrieval time is the slowest member's. Because the
+// pinwheel construction bounds every file's worst case by its window,
+// a transaction's deadline can be *guaranteed* at admission time: the
+// largest window among its read set must fit in the deadline.
+
+// Txn is a read-only transaction with a firm deadline in slots.
+type Txn struct {
+	Name     string
+	Reads    []string
+	Deadline int
+}
+
+// Validate checks the transaction.
+func (x Txn) Validate() error {
+	if x.Name == "" {
+		return fmt.Errorf("rtdb: transaction needs a name")
+	}
+	if len(x.Reads) == 0 {
+		return fmt.Errorf("rtdb: transaction %q reads nothing", x.Name)
+	}
+	if x.Deadline < 1 {
+		return fmt.Errorf("rtdb: transaction %q has deadline %d", x.Name, x.Deadline)
+	}
+	return nil
+}
+
+// GuaranteeTxn decides at admission time whether the transaction's
+// deadline is guaranteed by construction: every read item's pinwheel
+// window (B·Tᵢ, the worst-case fault-tolerant retrieval bound) must be
+// at most the deadline. It returns the binding worst-case bound.
+func GuaranteeTxn(files []core.FileSpec, bandwidth int, x Txn) (bool, int, error) {
+	if err := x.Validate(); err != nil {
+		return false, 0, err
+	}
+	byName := make(map[string]core.FileSpec, len(files))
+	for _, f := range files {
+		byName[f.Name] = f
+	}
+	worst := 0
+	for _, name := range x.Reads {
+		f, ok := byName[name]
+		if !ok {
+			return false, 0, fmt.Errorf("rtdb: transaction %q reads unknown item %q", x.Name, name)
+		}
+		if w := bandwidth * f.Latency; w > worst {
+			worst = w
+		}
+	}
+	return worst <= x.Deadline, worst, nil
+}
+
+// TxnLatency returns the fault-free retrieval time of the transaction
+// when the client starts listening at the given slot: the time until
+// every read item's reconstruction threshold of blocks has passed.
+func TxnLatency(p *core.Program, x Txn, start int) (int, error) {
+	if err := x.Validate(); err != nil {
+		return 0, err
+	}
+	worst := 0
+	for _, name := range x.Reads {
+		file := -1
+		for i, f := range p.Files {
+			if f.Name == name {
+				file = i
+				break
+			}
+		}
+		if file < 0 {
+			return 0, fmt.Errorf("rtdb: item %q not on the broadcast disk", name)
+		}
+		need := p.Files[file].M
+		seen := 0
+		t := start
+		for {
+			if p.FileAt(t) == file {
+				seen++
+				if seen == need {
+					break
+				}
+			}
+			t++
+			if t-start > (need+2)*p.Period*4 {
+				return 0, fmt.Errorf("rtdb: item %q starves on the program", name)
+			}
+		}
+		if lat := t - start + 1; lat > worst {
+			worst = lat
+		}
+	}
+	return worst, nil
+}
+
+// TxnWorstLatency maximizes TxnLatency over every start slot of one
+// period.
+func TxnWorstLatency(p *core.Program, x Txn) (int, error) {
+	worst := 0
+	for start := 0; start < p.Period; start++ {
+		lat, err := TxnLatency(p, x, start)
+		if err != nil {
+			return 0, err
+		}
+		if lat > worst {
+			worst = lat
+		}
+	}
+	return worst, nil
+}
+
+// MaxStaleness bounds the age of item data a client holds right after
+// retrieving it, when the server refreshes the item every `refresh`
+// slots: the copy captured on the air may already be up to `refresh`
+// old when its last block leaves the server, plus the retrieval time
+// itself. With the pinwheel window W = B·T as retrieval bound, the
+// absolute temporal-consistency constraint of §1 is met whenever
+// refresh + W stays within the item's constraint.
+func MaxStaleness(windowSlots, refreshSlots int) int {
+	return windowSlots + refreshSlots
+}

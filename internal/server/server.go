@@ -1,0 +1,67 @@
+// Package server implements the broadcast-disk server: it disperses the
+// database files with AIDA and pumps blocks onto the channel following
+// a broadcast program, rotating each file's dispersed blocks across the
+// program data cycle (§2.3).
+package server
+
+import (
+	"fmt"
+
+	"pinbcast/internal/core"
+	"pinbcast/internal/ida"
+)
+
+// Server holds the dispersed database and the broadcast program.
+type Server struct {
+	prog   *core.Program
+	blocks [][]*ida.Block // per file: the N transmitted (AIDA-allocated) blocks
+}
+
+// New disperses contents (keyed by file name) according to the
+// program's per-file (M, N) parameters. Every file of the program must
+// have contents.
+func New(prog *core.Program, contents map[string][]byte) (*Server, error) {
+	s := &Server{prog: prog, blocks: make([][]*ida.Block, len(prog.Files))}
+	for i, info := range prog.Files {
+		data, ok := contents[info.Name]
+		if !ok {
+			return nil, fmt.Errorf("server: no contents for file %q", info.Name)
+		}
+		// Disperse into the full width N and allocate all N for
+		// transmission (the program already encodes the redundancy
+		// decision through its slot counts).
+		blocks, err := ida.DisperseFile(uint32(i), data, info.M, info.N)
+		if err != nil {
+			return nil, fmt.Errorf("server: dispersing %q: %w", info.Name, err)
+		}
+		alloc, err := ida.Allocate(blocks, info.N)
+		if err != nil {
+			return nil, fmt.Errorf("server: allocating %q: %w", info.Name, err)
+		}
+		s.blocks[i] = alloc.Blocks()
+	}
+	return s, nil
+}
+
+// Program returns the broadcast program the server follows.
+func (s *Server) Program() *core.Program { return s.prog }
+
+// Emit returns the marshaled block transmitted in slot t, or nil for an
+// idle slot.
+func (s *Server) Emit(t int) []byte {
+	file, seq := s.prog.BlockAt(t)
+	if file == core.Idle {
+		return nil
+	}
+	return s.blocks[file][seq].Marshal()
+}
+
+// EmitBlock returns the unmarshaled block for slot t (for tests and
+// in-process clients), or nil for idle.
+func (s *Server) EmitBlock(t int) *ida.Block {
+	file, seq := s.prog.BlockAt(t)
+	if file == core.Idle {
+		return nil
+	}
+	return s.blocks[file][seq]
+}

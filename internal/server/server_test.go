@@ -1,0 +1,94 @@
+package server
+
+import (
+	"testing"
+
+	"pinbcast/internal/core"
+	"pinbcast/internal/ida"
+)
+
+func testProgram(t *testing.T) *core.Program {
+	p, err := core.FlatSpread([]core.FileSpec{
+		{Name: "A", Blocks: 5, Latency: 1, DispersalWidth: 10},
+		{Name: "B", Blocks: 3, Latency: 1, DispersalWidth: 6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewRequiresAllContents(t *testing.T) {
+	if _, err := New(testProgram(t), map[string][]byte{"A": []byte("x")}); err == nil {
+		t.Fatal("missing file contents accepted")
+	}
+}
+
+func TestEmitFollowsProgram(t *testing.T) {
+	prog := testProgram(t)
+	srv, err := New(prog, map[string][]byte{
+		"A": []byte("contents of file A for dispersal"),
+		"B": []byte("contents of B"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for t0 := 0; t0 < 48; t0++ {
+		wantFile, wantSeq := prog.BlockAt(t0)
+		blk := srv.EmitBlock(t0)
+		if wantFile == core.Idle {
+			if blk != nil {
+				t.Fatalf("slot %d: expected idle", t0)
+			}
+			continue
+		}
+		if int(blk.FileID) != wantFile || int(blk.Seq) != wantSeq {
+			t.Fatalf("slot %d: block (%d,%d), want (%d,%d)",
+				t0, blk.FileID, blk.Seq, wantFile, wantSeq)
+		}
+	}
+}
+
+func TestEmitMarshalRoundTrip(t *testing.T) {
+	srv, err := New(testProgram(t), map[string][]byte{
+		"A": []byte("AAAA AAAA AAAA AAAA"),
+		"B": []byte("BBBB BBBB"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := srv.Emit(0)
+	blk, err := ida.Unmarshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blk.FileID != 0 {
+		t.Fatalf("first slot block file = %d", blk.FileID)
+	}
+}
+
+func TestServerBlocksReconstruct(t *testing.T) {
+	data := map[string][]byte{
+		"A": []byte("any five of the ten blocks reconstruct this"),
+		"B": []byte("any three of six"),
+	}
+	srv, err := New(testProgram(t), data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Collect the first M blocks of file A as the program emits them.
+	var got []*ida.Block
+	for t0 := 0; len(got) < 5; t0++ {
+		blk := srv.EmitBlock(t0)
+		if blk != nil && blk.FileID == 0 {
+			got = append(got, blk)
+		}
+	}
+	out, err := ida.ReconstructFile(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != string(data["A"]) {
+		t.Fatalf("reconstructed %q", out)
+	}
+}

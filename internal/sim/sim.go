@@ -1,0 +1,184 @@
+// Package sim drives end-to-end broadcast-disk simulations: a server
+// follows a broadcast program, the channel injects faults, and a
+// population of clients retrieves files against deadlines. It produces
+// the latency and deadline-miss metrics the paper's real-time analysis
+// is about.
+package sim
+
+import (
+	"fmt"
+
+	"pinbcast/internal/channel"
+	"pinbcast/internal/client"
+	"pinbcast/internal/core"
+	"pinbcast/internal/server"
+)
+
+// ClientSpec places one client in the simulation.
+type ClientSpec struct {
+	Start    int // absolute slot at which the client begins listening
+	Requests []client.Request
+}
+
+// Config describes a simulation.
+type Config struct {
+	Program  *core.Program
+	Contents map[string][]byte
+	Fault    channel.FaultModel
+	Clients  []ClientSpec
+	// Horizon is the number of slots to simulate. Zero derives a
+	// horizon from the latest client start plus four data cycles.
+	Horizon int
+}
+
+// FileStats aggregates outcomes per file.
+type FileStats struct {
+	Requests       int
+	Completed      int
+	DeadlineMet    int
+	DeadlineMissed int
+	MeanLatency    float64
+	MaxLatency     int
+	Corrupted      int
+}
+
+// Report is the simulation outcome.
+type Report struct {
+	Slots           int
+	BlocksSent      int
+	BlocksCorrupted int
+	PerFile         map[string]*FileStats
+	Results         []client.Result
+	FaultModel      string
+}
+
+// Run executes the simulation.
+func Run(cfg Config) (*Report, error) {
+	if cfg.Program == nil {
+		return nil, fmt.Errorf("sim: no program")
+	}
+	if cfg.Fault == nil {
+		cfg.Fault = channel.None{}
+	}
+	if len(cfg.Clients) == 0 {
+		return nil, fmt.Errorf("sim: no clients")
+	}
+	srv, err := server.New(cfg.Program, cfg.Contents)
+	if err != nil {
+		return nil, err
+	}
+	names := make(map[uint32]string, len(cfg.Program.Files))
+	for i, f := range cfg.Program.Files {
+		names[uint32(i)] = f.Name
+	}
+	horizon := cfg.Horizon
+	if horizon == 0 {
+		latest := 0
+		for _, cs := range cfg.Clients {
+			if cs.Start > latest {
+				latest = cs.Start
+			}
+		}
+		horizon = latest + 4*cfg.Program.DataCycle()
+	}
+
+	clients := make([]*client.Client, len(cfg.Clients))
+	for i, cs := range cfg.Clients {
+		c, err := client.New(cs.Start, names, cs.Requests)
+		if err != nil {
+			return nil, fmt.Errorf("sim: client %d: %w", i, err)
+		}
+		clients[i] = c
+	}
+
+	rep := &Report{PerFile: make(map[string]*FileStats), FaultModel: cfg.Fault.Name()}
+	for t := 0; t < horizon; t++ {
+		raw := srv.Emit(t)
+		if raw != nil {
+			rep.BlocksSent++
+		}
+		corrupted := raw != nil && cfg.Fault.Corrupts(t)
+		if corrupted {
+			rep.BlocksCorrupted++
+			// Flip bytes so checksums fail; clients see garbage.
+			raw = corrupt(raw)
+			if f := cfg.Program.FileAt(t); f != core.Idle {
+				name := cfg.Program.Files[f].Name
+				for _, c := range clients {
+					if t >= c.Start() {
+						c.NoteCorruption(name)
+					}
+				}
+			}
+		}
+		done := true
+		for _, c := range clients {
+			c.Observe(t, raw)
+			if !c.Done() {
+				done = false
+			}
+		}
+		if done {
+			rep.Slots = t + 1
+			break
+		}
+		rep.Slots = t + 1
+	}
+
+	for _, c := range clients {
+		rep.Results = append(rep.Results, c.Flush(rep.Slots-1)...)
+	}
+	for _, r := range rep.Results {
+		st := rep.PerFile[r.File]
+		if st == nil {
+			st = &FileStats{}
+			rep.PerFile[r.File] = st
+		}
+		st.Requests++
+		st.Corrupted += r.Corrupted
+		if r.Completed {
+			st.Completed++
+			st.MeanLatency += float64(r.Latency)
+			if r.Latency > st.MaxLatency {
+				st.MaxLatency = r.Latency
+			}
+			if r.Deadline > 0 {
+				if r.DeadlineMet {
+					st.DeadlineMet++
+				} else {
+					st.DeadlineMissed++
+				}
+			}
+		} else if r.Deadline > 0 {
+			st.DeadlineMissed++
+		}
+	}
+	for _, st := range rep.PerFile {
+		if st.Completed > 0 {
+			st.MeanLatency /= float64(st.Completed)
+		}
+	}
+	return rep, nil
+}
+
+// corrupt returns a copy of raw with a byte flipped, guaranteeing a
+// checksum failure at the client.
+func corrupt(raw []byte) []byte {
+	bad := append([]byte(nil), raw...)
+	bad[len(bad)/2] ^= 0x5a
+	return bad
+}
+
+// MissRatio returns the fraction of deadline-carrying requests that
+// missed, across all files.
+func (r *Report) MissRatio() float64 {
+	met, missed := 0, 0
+	for _, st := range r.PerFile {
+		met += st.DeadlineMet
+		missed += st.DeadlineMissed
+	}
+	if met+missed == 0 {
+		return 0
+	}
+	return float64(missed) / float64(met+missed)
+}

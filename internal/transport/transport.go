@@ -1,0 +1,212 @@
+// Package transport broadcasts a disk program over real network
+// connections. The broadcast channel of the paper is a one-way
+// downstream medium; here it is realized as a TCP fan-out: the server
+// pushes one framed slot after another to every connected client, and
+// never reads — preserving the asymmetry (clients have no upstream
+// path through this package at all).
+//
+// Frame format (big endian):
+//
+//	uint32 slot number
+//	uint32 payload length (0 for an idle slot)
+//	payload bytes (a marshaled ida.Block)
+//
+// Slow or dead clients are disconnected rather than allowed to stall
+// the broadcast, matching the fire-and-forget nature of the medium.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"pinbcast/internal/server"
+)
+
+// frameHeaderSize is the per-frame header: slot(4) + length(4).
+const frameHeaderSize = 8
+
+// MaxFramePayload bounds the payload length a receiver will accept,
+// guarding against corrupt headers.
+const MaxFramePayload = 1 << 20
+
+// WriteFrame writes one slot frame to w.
+func WriteFrame(w io.Writer, slot int, payload []byte) error {
+	if len(payload) > MaxFramePayload {
+		return fmt.Errorf("transport: payload %d exceeds limit", len(payload))
+	}
+	var hdr [frameHeaderSize]byte
+	binary.BigEndian.PutUint32(hdr[0:], uint32(slot))
+	binary.BigEndian.PutUint32(hdr[4:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadFrame reads one slot frame from r. An idle slot yields a nil
+// payload.
+func ReadFrame(r io.Reader) (slot int, payload []byte, err error) {
+	var hdr [frameHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	slot = int(binary.BigEndian.Uint32(hdr[0:]))
+	n := binary.BigEndian.Uint32(hdr[4:])
+	if n > MaxFramePayload {
+		return 0, nil, fmt.Errorf("transport: frame payload %d exceeds limit", n)
+	}
+	if n == 0 {
+		return slot, nil, nil
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return slot, payload, nil
+}
+
+// Broadcaster pushes a broadcast server's block stream to every
+// connected client.
+type Broadcaster struct {
+	src *server.Server
+	ln  net.Listener
+
+	mu    sync.Mutex
+	conns map[net.Conn]bool
+	done  chan struct{}
+	wg    sync.WaitGroup
+}
+
+// NewBroadcaster starts accepting clients on ln. Call Run to start the
+// slot clock and Close to shut everything down.
+func NewBroadcaster(ln net.Listener, src *server.Server) *Broadcaster {
+	b := &Broadcaster{
+		src:   src,
+		ln:    ln,
+		conns: make(map[net.Conn]bool),
+		done:  make(chan struct{}),
+	}
+	b.wg.Add(1)
+	go b.acceptLoop()
+	return b
+}
+
+// Addr returns the listening address.
+func (b *Broadcaster) Addr() net.Addr { return b.ln.Addr() }
+
+func (b *Broadcaster) acceptLoop() {
+	defer b.wg.Done()
+	for {
+		conn, err := b.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		b.mu.Lock()
+		select {
+		case <-b.done:
+			b.mu.Unlock()
+			conn.Close()
+			return
+		default:
+		}
+		b.conns[conn] = true
+		b.mu.Unlock()
+	}
+}
+
+// ClientCount returns the number of connected clients.
+func (b *Broadcaster) ClientCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.conns)
+}
+
+// Run broadcasts `slots` consecutive slots, pacing them `interval`
+// apart (zero for as fast as possible). Clients whose connections
+// error are dropped.
+func (b *Broadcaster) Run(slots int, interval time.Duration) error {
+	if slots < 1 {
+		return errors.New("transport: nothing to broadcast")
+	}
+	var tick *time.Ticker
+	if interval > 0 {
+		tick = time.NewTicker(interval)
+		defer tick.Stop()
+	}
+	for t := 0; t < slots; t++ {
+		select {
+		case <-b.done:
+			return errors.New("transport: broadcaster closed")
+		default:
+		}
+		payload := b.src.Emit(t)
+		b.mu.Lock()
+		for conn := range b.conns {
+			conn.SetWriteDeadline(time.Now().Add(time.Second))
+			if err := WriteFrame(conn, t, payload); err != nil {
+				conn.Close()
+				delete(b.conns, conn)
+			}
+		}
+		b.mu.Unlock()
+		if tick != nil {
+			<-tick.C
+		}
+	}
+	return nil
+}
+
+// Close stops accepting, disconnects every client and waits for the
+// accept loop.
+func (b *Broadcaster) Close() error {
+	b.mu.Lock()
+	select {
+	case <-b.done:
+	default:
+		close(b.done)
+	}
+	for conn := range b.conns {
+		conn.Close()
+		delete(b.conns, conn)
+	}
+	b.mu.Unlock()
+	err := b.ln.Close()
+	b.wg.Wait()
+	return err
+}
+
+// Receiver consumes a broadcast stream from a connection.
+type Receiver struct {
+	conn net.Conn
+}
+
+// Dial connects to a broadcaster.
+func Dial(addr string) (*Receiver, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Receiver{conn: conn}, nil
+}
+
+// Next returns the next slot frame. It blocks until a frame arrives,
+// the deadline passes, or the stream closes (io.EOF).
+func (r *Receiver) Next(deadline time.Duration) (slot int, payload []byte, err error) {
+	if deadline > 0 {
+		r.conn.SetReadDeadline(time.Now().Add(deadline))
+	}
+	return ReadFrame(r.conn)
+}
+
+// Close closes the connection.
+func (r *Receiver) Close() error { return r.conn.Close() }

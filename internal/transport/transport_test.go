@@ -1,0 +1,201 @@
+package transport
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"pinbcast/internal/client"
+	"pinbcast/internal/core"
+	"pinbcast/internal/server"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("block payload")
+	if err := WriteFrame(&buf, 42, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(&buf, 43, nil); err != nil {
+		t.Fatal(err)
+	}
+	slot, got, err := ReadFrame(&buf)
+	if err != nil || slot != 42 || !bytes.Equal(got, payload) {
+		t.Fatalf("frame 1: slot=%d err=%v", slot, err)
+	}
+	slot, got, err = ReadFrame(&buf)
+	if err != nil || slot != 43 || got != nil {
+		t.Fatalf("frame 2: slot=%d payload=%v err=%v", slot, got, err)
+	}
+}
+
+func TestReadFrameShort(t *testing.T) {
+	if _, _, err := ReadFrame(bytes.NewReader([]byte{1, 2})); err == nil {
+		t.Fatal("short header accepted")
+	}
+	var buf bytes.Buffer
+	WriteFrame(&buf, 1, []byte("abcdef"))
+	trunc := buf.Bytes()[:buf.Len()-2]
+	if _, _, err := ReadFrame(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}
+
+func TestReadFrameOversized(t *testing.T) {
+	var hdr [8]byte
+	hdr[4] = 0xff // declared length 0xff000000
+	if _, _, err := ReadFrame(bytes.NewReader(hdr[:])); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+func TestWriteFrameOversized(t *testing.T) {
+	if err := WriteFrame(io.Discard, 0, make([]byte, MaxFramePayload+1)); err == nil {
+		t.Fatal("oversized payload accepted")
+	}
+}
+
+func newBroadcaster(t *testing.T) (*Broadcaster, *core.Program, map[string][]byte) {
+	prog, err := core.FlatSpread([]core.FileSpec{
+		{Name: "A", Blocks: 5, Latency: 1, DispersalWidth: 10},
+		{Name: "B", Blocks: 3, Latency: 1, DispersalWidth: 6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	contents := map[string][]byte{
+		"A": []byte("file A travels the network as dispersed blocks"),
+		"B": []byte("file B too"),
+	}
+	srv, err := server.New(prog, contents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewBroadcaster(ln, srv), prog, contents
+}
+
+func TestBroadcastOverTCP(t *testing.T) {
+	b, _, contents := newBroadcaster(t)
+	defer b.Close()
+
+	recv, err := Dial(b.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+	waitClients(t, b, 1)
+
+	go func() {
+		if err := b.Run(32, 0); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	// Feed received frames into the standard client until both files
+	// reconstruct.
+	c, err := client.New(0, map[uint32]string{0: "A", 1: "B"},
+		[]client.Request{{File: "A"}, {File: "B"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !c.Done() {
+		slot, payload, err := recv.Next(2 * time.Second)
+		if err != nil {
+			t.Fatalf("receive: %v", err)
+		}
+		c.Observe(slot, payload)
+	}
+	for _, r := range c.Results() {
+		if !r.Completed || !bytes.Equal(r.Data, contents[r.File]) {
+			t.Fatalf("file %q corrupted over network", r.File)
+		}
+	}
+}
+
+func TestBroadcastFanOutTwoClients(t *testing.T) {
+	b, _, contents := newBroadcaster(t)
+	defer b.Close()
+
+	r1, err := Dial(b.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r1.Close()
+	r2, err := Dial(b.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	waitClients(t, b, 2)
+
+	go b.Run(32, 0)
+
+	for i, recv := range []*Receiver{r1, r2} {
+		c, err := client.New(0, map[uint32]string{0: "A", 1: "B"},
+			[]client.Request{{File: "A"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for !c.Done() {
+			slot, payload, err := recv.Next(2 * time.Second)
+			if err != nil {
+				t.Fatalf("client %d: %v", i, err)
+			}
+			c.Observe(slot, payload)
+		}
+		if got := c.Results()[0].Data; !bytes.Equal(got, contents["A"]) {
+			t.Fatalf("client %d got wrong bytes", i)
+		}
+	}
+}
+
+func TestDeadClientDropped(t *testing.T) {
+	b, _, _ := newBroadcaster(t)
+	defer b.Close()
+
+	recv, err := Dial(b.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitClients(t, b, 1)
+	recv.Close() // client goes away without telling anyone
+
+	// Broadcasting enough data must eventually notice and drop it.
+	if err := b.Run(4096, 0); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for b.ClientCount() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("dead client never dropped")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestCloseUnblocksEverything(t *testing.T) {
+	b, _, _ := newBroadcaster(t)
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Run(8, 0); err == nil {
+		t.Fatal("Run after Close succeeded")
+	}
+}
+
+func waitClients(t *testing.T, b *Broadcaster, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for b.ClientCount() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d clients connected", b.ClientCount(), n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,181 @@
+// Package workload generates the broadcast-disk workloads the paper's
+// introduction motivates: IVHS (Intelligent Vehicle Highway System)
+// traffic dissemination, AWACS battlefield data, and video-on-demand —
+// plus parameterized random workloads for sweeps. All generators are
+// seeded and reproducible.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"pinbcast/internal/core"
+	"pinbcast/internal/rtdb"
+)
+
+// IVHS returns the broadcast files of an Intelligent Vehicle Highway
+// System serving nSegments highway segments: per segment a frequently
+// refreshed traffic-conditions file and a slower incident file, plus
+// one shared route-guidance map. Latencies are in 100 ms units.
+func IVHS(nSegments int, seed int64) []core.FileSpec {
+	if nSegments < 1 {
+		panic("workload: need at least one segment")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var files []core.FileSpec
+	for s := 0; s < nSegments; s++ {
+		files = append(files, core.FileSpec{
+			Name:    fmt.Sprintf("traffic-%02d", s),
+			Blocks:  1 + rng.Intn(3),   // small, hot updates
+			Latency: 10 + rng.Intn(20), // 1–3 s freshness
+			Faults:  1,
+		})
+		files = append(files, core.FileSpec{
+			Name:    fmt.Sprintf("incident-%02d", s),
+			Blocks:  2 + rng.Intn(4),
+			Latency: 50 + rng.Intn(50), // 5–10 s
+			Faults:  2,                 // incident reports are critical
+		})
+	}
+	files = append(files, core.FileSpec{
+		Name:    "route-map",
+		Blocks:  16 + rng.Intn(16),
+		Latency: 600, // 60 s: the map changes slowly
+		Faults:  1,
+	})
+	return files
+}
+
+// AWACS returns the paper's AWACS real-time database: positional items
+// whose temporal constraints derive from platform velocities, with
+// mode-dependent criticality.
+func AWACS() *rtdb.Database {
+	return &rtdb.Database{
+		Unit: 100 * time.Millisecond,
+		Items: []rtdb.Item{
+			{
+				Name:     "aircraft-pos",
+				Velocity: rtdb.KmPerHour(900),
+				Accuracy: 100,
+				Blocks:   4,
+				FaultsByMode: map[rtdb.Mode]int{
+					"combat":  2,
+					"landing": 1,
+				},
+			},
+			{
+				Name:     "tank-pos",
+				Velocity: rtdb.KmPerHour(60),
+				Accuracy: 100,
+				Blocks:   2,
+				FaultsByMode: map[rtdb.Mode]int{
+					"combat": 1,
+				},
+			},
+			{
+				Name:     "helicopter-pos",
+				Velocity: rtdb.KmPerHour(240),
+				Accuracy: 100,
+				Blocks:   3,
+				FaultsByMode: map[rtdb.Mode]int{
+					"combat":  2,
+					"landing": 1,
+				},
+			},
+			{
+				Name:     "convoy-route",
+				Velocity: rtdb.KmPerHour(30),
+				Accuracy: 250,
+				Blocks:   6,
+				FaultsByMode: map[rtdb.Mode]int{
+					"combat": 1,
+				},
+			},
+		},
+	}
+}
+
+// Video returns a video-on-demand workload: nStreams streams whose
+// frames must arrive at a steady cadence (interactive-TV set-top boxes,
+// §1). Latencies in frame times.
+func Video(nStreams int, seed int64) []core.FileSpec {
+	if nStreams < 1 {
+		panic("workload: need at least one stream")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	files := make([]core.FileSpec, nStreams)
+	for i := range files {
+		files[i] = core.FileSpec{
+			Name:    fmt.Sprintf("stream-%02d", i),
+			Blocks:  4 + rng.Intn(4), // a group of pictures
+			Latency: 30 + rng.Intn(30),
+			Faults:  1,
+		}
+	}
+	return files
+}
+
+// Random returns n random file specifications with sizes in
+// [1, maxBlocks], latencies in [minLatency, maxLatency] and fault
+// tolerances in [0, maxFaults].
+func Random(n int, maxBlocks, minLatency, maxLatency, maxFaults int, seed int64) []core.FileSpec {
+	if n < 1 || maxBlocks < 1 || minLatency < 1 || maxLatency < minLatency || maxFaults < 0 {
+		panic("workload: invalid Random parameters")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	files := make([]core.FileSpec, n)
+	for i := range files {
+		files[i] = core.FileSpec{
+			Name:    fmt.Sprintf("f%03d", i),
+			Blocks:  1 + rng.Intn(maxBlocks),
+			Latency: minLatency + rng.Intn(maxLatency-minLatency+1),
+			Faults:  rng.Intn(maxFaults + 1),
+		}
+	}
+	return files
+}
+
+// RandomUnitSystemFiles returns n unit-demand files (one block each)
+// whose total density approximates targetDensity at bandwidth 1 — the
+// instances of the scheduler density sweep (experiment E9).
+func RandomUnitSystemFiles(n int, targetDensity float64, seed int64) []core.FileSpec {
+	if n < 1 || targetDensity <= 0 {
+		panic("workload: invalid RandomUnitSystemFiles parameters")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	files := make([]core.FileSpec, n)
+	// Draw random weights and scale windows so Σ 1/bᵢ ≈ targetDensity.
+	weights := make([]float64, n)
+	sum := 0.0
+	for i := range weights {
+		weights[i] = 0.2 + rng.Float64()
+		sum += weights[i]
+	}
+	for i := range files {
+		share := targetDensity * weights[i] / sum
+		b := int(1.0/share + 0.5)
+		if b < 2 {
+			b = 2
+		}
+		files[i] = core.FileSpec{
+			Name:    fmt.Sprintf("u%03d", i),
+			Blocks:  1,
+			Latency: b,
+		}
+	}
+	return files
+}
+
+// Contents fabricates deterministic file contents sized to the specs
+// (blockSize bytes per block), for end-to-end simulations.
+func Contents(files []core.FileSpec, blockSize int, seed int64) map[string][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make(map[string][]byte, len(files))
+	for _, f := range files {
+		data := make([]byte, f.Blocks*blockSize)
+		rng.Read(data)
+		out[f.Name] = data
+	}
+	return out
+}
