@@ -10,6 +10,7 @@ import (
 	"pinbcast/internal/ida"
 	"pinbcast/internal/pinwheel"
 	"pinbcast/internal/rtdb"
+	"pinbcast/internal/server"
 	"pinbcast/internal/sim"
 )
 
@@ -29,6 +30,9 @@ type (
 	GeneralizedResult = core.GeneralizedResult
 )
 
+// Idle marks an unallocated slot in programs and schedules.
+const Idle = core.Idle
+
 // NecessaryBandwidth returns Σ (mᵢ+rᵢ)/Tᵢ, the bandwidth lower bound.
 func NecessaryBandwidth(files []FileSpec) float64 { return core.NecessaryBandwidth(files) }
 
@@ -40,14 +44,50 @@ func SufficientBandwidth(files []FileSpec) int { return core.SufficientBandwidth
 // portfolio constructs a program.
 func MinBandwidth(files []FileSpec) (int, error) { return core.MinBandwidth(files) }
 
+// BuildConfig describes a broadcast-program construction.
+type BuildConfig struct {
+	// Files are the broadcast file specifications.
+	Files []FileSpec
+	// Bandwidth is the channel bandwidth in blocks per time unit; zero
+	// sizes it with Equation 1/2.
+	Bandwidth int
+	// Schedulers is the ordered scheduler chain to try; nil runs the
+	// paper's portfolio.
+	Schedulers []Scheduler
+}
+
+// Build constructs a fault-tolerant real-time broadcast program. All
+// failures wrap the package's typed errors: ErrBadSpec for invalid
+// files, ErrBandwidth when the bandwidth cannot carry the file set,
+// ErrInfeasible when scheduling is provably impossible.
+func Build(cfg BuildConfig) (*Program, error) {
+	bw := cfg.Bandwidth
+	if bw == 0 {
+		// Invalid files yield a meaningless sizing here, but
+		// BuildProgramWith validates them before using the bandwidth.
+		bw = core.SufficientBandwidth(cfg.Files)
+	}
+	return core.BuildProgramWith(cfg.Files, bw, func(sys pinwheel.System) (*pinwheel.Schedule, error) {
+		return solveChain(sys, cfg.Schedulers)
+	})
+}
+
 // BuildProgram constructs a broadcast program at the given bandwidth.
+// Unlike Build, a bandwidth below 1 is an error (the historical
+// behavior of this function), not a request for Equation-1/2 sizing.
+//
+// Deprecated: use Build with a BuildConfig.
 func BuildProgram(files []FileSpec, bandwidth int) (*Program, error) {
-	return core.BuildProgram(files, bandwidth)
+	return core.BuildProgramWith(files, bandwidth, nil)
 }
 
 // BuildProgramAuto sizes bandwidth with Equation 1/2 and builds the
 // program.
-func BuildProgramAuto(files []FileSpec) (*Program, error) { return core.BuildProgramAuto(files) }
+//
+// Deprecated: use Build with a zero-bandwidth BuildConfig.
+func BuildProgramAuto(files []FileSpec) (*Program, error) {
+	return Build(BuildConfig{Files: files})
+}
 
 // BuildGeneralizedProgram constructs a program for files with
 // per-fault-level latency vectors via the pinwheel algebra.
@@ -68,14 +108,41 @@ type (
 	Block = ida.Block
 )
 
+// DispersalConfig describes one file dispersal.
+type DispersalConfig struct {
+	// FileID is the identifier stamped on every block; use FileID(name)
+	// for the stable name-derived identifier broadcast servers use.
+	FileID uint32
+	// Data is the file contents.
+	Data []byte
+	// Threshold is m: any Threshold blocks reconstruct the file.
+	Threshold int
+	// Width is n: the number of distinct blocks produced.
+	Width int
+}
+
+// DisperseData splits data into Width self-identifying blocks of which
+// any Threshold reconstruct it (Rabin's IDA over GF(2⁸)).
+func DisperseData(cfg DispersalConfig) ([]*Block, error) {
+	return ida.DisperseFile(cfg.FileID, cfg.Data, cfg.Threshold, cfg.Width)
+}
+
 // Disperse splits data into n self-identifying blocks of which any m
-// reconstruct it (Rabin's IDA over GF(2⁸)).
+// reconstruct it.
+//
+// Deprecated: use DisperseData with a DispersalConfig.
 func Disperse(fileID uint32, data []byte, m, n int) ([]*Block, error) {
 	return ida.DisperseFile(fileID, data, m, n)
 }
 
-// Reconstruct recovers a file from at least M of its blocks.
+// Reconstruct recovers a file from at least Threshold of its blocks.
 func Reconstruct(blocks []*Block) ([]byte, error) { return ida.ReconstructFile(blocks) }
+
+// FileID returns the stable name-derived broadcast identifier servers
+// stamp on a named file's blocks. It is invariant across program
+// rebuilds, so clients may keep collecting a file's blocks across
+// Admit/Evict generations.
+func FileID(name string) uint32 { return server.FileID(name) }
 
 // Pinwheel scheduling (internal/pinwheel).
 type (
@@ -136,6 +203,16 @@ func BurstFaults(pGoodToBad, pBadToGood, pLossWhileBad float64, seed int64) Faul
 	return channel.NewGilbertElliott(pGoodToBad, pBadToGood, pLossWhileBad, seed)
 }
 
+// SlotFaults returns the deterministic adversary that corrupts exactly
+// the listed absolute slots — the worst-case analyses of §2.3 use it.
+func SlotFaults(slots ...int) FaultModel {
+	set := make(channel.SlotSet, len(slots))
+	for _, t := range slots {
+		set[t] = true
+	}
+	return set
+}
+
 // Real-time database layer (internal/rtdb).
 type (
 	// RTDatabase maps temporally-constrained items to broadcast files.
@@ -153,6 +230,8 @@ func NewRTDatabase(unit time.Duration, items ...RTItem) *RTDatabase {
 
 // Admit applies density-based admission control: candidate joins the
 // admitted set at bandwidth b only if every guarantee is preserved.
+// Rejections wrap ErrAdmission. For a running broadcast, use
+// Station.Admit, which also rebuilds and swaps the program.
 func Admit(admitted []FileSpec, candidate FileSpec, b int) ([]FileSpec, error) {
 	return rtdb.Admit(admitted, candidate, b)
 }

@@ -10,6 +10,7 @@ package pinbcast
 // and see cmd/experiments for the rendered tables.
 
 import (
+	"context"
 	"testing"
 
 	"pinbcast/internal/core"
@@ -202,6 +203,52 @@ func BenchmarkEndToEndSimulation(b *testing.B) {
 			},
 		})
 		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStationServe measures the streaming broadcast loop: slots
+// drained per second from a consumer-paced Serve stream. This is the
+// hot path of the Station service API and the series tracked by CI in
+// BENCH_station.json.
+func BenchmarkStationServe(b *testing.B) {
+	files := []core.FileSpec{
+		{Name: "A", Blocks: 4, Latency: 8, Faults: 1},
+		{Name: "B", Blocks: 8, Latency: 40},
+	}
+	st, err := New(
+		WithFiles(files...),
+		WithContents(workload.Contents(files, 256, 5)),
+		WithSlotBuffer(256),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	slots, err := st.Serve(ctx)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := <-slots; !ok {
+			b.Fatal("stream closed")
+		}
+	}
+}
+
+// BenchmarkStationBuild measures full service construction: admission
+// of the file set, portfolio scheduling, AIDA dispersal.
+func BenchmarkStationBuild(b *testing.B) {
+	files := workload.IVHS(6, 7)
+	contents := workload.Contents(files, 128, 7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := New(WithFiles(files...), WithContents(contents)); err != nil {
 			b.Fatal(err)
 		}
 	}

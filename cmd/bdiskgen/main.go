@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	bdiskgen -spec files.json [-bandwidth 0]
+//	bdiskgen -spec files.json [-bandwidth 0] [-scheduler sx,edf] [-out prog.json]
 //
 // Specification format (latency in time units; faults optional):
 //
@@ -22,11 +22,13 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
-	"pinbcast/internal/core"
+	"pinbcast"
 )
 
 type spec struct {
@@ -48,11 +50,25 @@ func main() {
 	specPath := flag.String("spec", "", "path to the JSON specification")
 	bandwidth := flag.Int("bandwidth", 0, "bandwidth in blocks per time unit (0 = Equation 1/2)")
 	out := flag.String("out", "", "write the constructed program as JSON to this path")
+	scheduler := flag.String("scheduler", "",
+		"comma-separated scheduler chain (default: the portfolio; registered: "+
+			strings.Join(pinbcast.SchedulerNames(), ", ")+")")
 	flag.Parse()
 	outPath = *out
 	if *specPath == "" {
 		fmt.Fprintln(os.Stderr, "bdiskgen: -spec is required")
 		os.Exit(2)
+	}
+	if *scheduler != "" {
+		for _, name := range strings.Split(*scheduler, ",") {
+			s, ok := pinbcast.LookupScheduler(strings.ToLower(strings.TrimSpace(name)))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "bdiskgen: unknown scheduler %q (registered: %s)\n",
+					name, strings.Join(pinbcast.SchedulerNames(), ", "))
+				os.Exit(2)
+			}
+			chain = append(chain, s)
+		}
 	}
 	raw, err := os.ReadFile(*specPath)
 	if err != nil {
@@ -67,41 +83,65 @@ func main() {
 
 	switch {
 	case len(s.Generalized) > 0:
-		if err := runGeneralized(s); err != nil {
-			fmt.Fprintln(os.Stderr, "bdiskgen:", err)
-			os.Exit(1)
-		}
+		fail(runGeneralized(s))
 	case len(s.Files) > 0:
-		if err := runRegular(s, *bandwidth); err != nil {
-			fmt.Fprintln(os.Stderr, "bdiskgen:", err)
-			os.Exit(1)
-		}
+		fail(runRegular(s, *bandwidth))
 	default:
 		fmt.Fprintln(os.Stderr, "bdiskgen: spec lists no files")
 		os.Exit(1)
 	}
 }
 
+// fail reports a construction error with its typed-error class and
+// exits; nil is a no-op.
+func fail(err error) {
+	if err == nil {
+		return
+	}
+	switch {
+	case errors.Is(err, pinbcast.ErrBadSpec):
+		fmt.Fprintln(os.Stderr, "bdiskgen: invalid specification:", err)
+		os.Exit(2)
+	case errors.Is(err, pinbcast.ErrBandwidth):
+		fmt.Fprintln(os.Stderr, "bdiskgen: bandwidth too low:", err)
+		os.Exit(1)
+	case errors.Is(err, pinbcast.ErrInfeasible):
+		fmt.Fprintln(os.Stderr, "bdiskgen: infeasible:", err)
+		os.Exit(1)
+	default:
+		fmt.Fprintln(os.Stderr, "bdiskgen:", err)
+		os.Exit(1)
+	}
+}
+
+// chain is the -scheduler flag; nil means the portfolio.
+var chain []pinbcast.Scheduler
+
 func runRegular(s spec, bandwidth int) error {
-	files := make([]core.FileSpec, len(s.Files))
+	files := make([]pinbcast.FileSpec, len(s.Files))
 	for i, f := range s.Files {
-		files[i] = core.FileSpec{
+		files[i] = pinbcast.FileSpec{
 			Name: f.Name, Blocks: f.Blocks, Latency: f.Latency,
 			Faults: f.Faults, DispersalWidth: f.Width,
 		}
 	}
-	necessary := core.NecessaryBandwidth(files)
-	sufficient := core.SufficientBandwidth(files)
+	// Print the sizing diagnostics before building: when the chosen
+	// bandwidth turns out too low, the Eq-1/2 figure is the fix.
+	necessary := pinbcast.NecessaryBandwidth(files)
+	sufficient := pinbcast.SufficientBandwidth(files)
 	if bandwidth == 0 {
 		bandwidth = sufficient
 	}
 	fmt.Printf("files:                %d\n", len(files))
 	fmt.Printf("necessary bandwidth:  %.4f blocks/unit\n", necessary)
 	fmt.Printf("Eq-1/2 bandwidth:     %d blocks/unit (overhead %.1f%%)\n",
-		sufficient, 100*core.Overhead(files, sufficient))
+		sufficient, 100*(float64(sufficient)/necessary-1))
 	fmt.Printf("chosen bandwidth:     %d blocks/unit\n", bandwidth)
-
-	p, err := core.BuildProgram(files, bandwidth)
+	p, err := pinbcast.Build(pinbcast.BuildConfig{
+		Files:      files,
+		Bandwidth:  bandwidth,
+		Schedulers: chain,
+	})
 	if err != nil {
 		return err
 	}
@@ -122,11 +162,11 @@ func runRegular(s spec, bandwidth int) error {
 }
 
 func runGeneralized(s spec) error {
-	files := make([]core.GenFileSpec, len(s.Generalized))
+	files := make([]pinbcast.GenFileSpec, len(s.Generalized))
 	for i, f := range s.Generalized {
-		files[i] = core.GenFileSpec{Name: f.Name, Blocks: f.Blocks, Latencies: f.Latencies}
+		files[i] = pinbcast.GenFileSpec{Name: f.Name, Blocks: f.Blocks, Latencies: f.Latencies}
 	}
-	res, err := core.BuildGeneralizedProgram(files)
+	res, err := pinbcast.BuildGeneralizedProgram(files)
 	if err != nil {
 		return err
 	}
@@ -148,7 +188,7 @@ func runGeneralized(s spec) error {
 var outPath string
 
 // writeProgram serializes the program to outPath when set.
-func writeProgram(p *core.Program) error {
+func writeProgram(p *pinbcast.Program) error {
 	if outPath == "" {
 		return nil
 	}
@@ -163,10 +203,10 @@ func writeProgram(p *core.Program) error {
 	return nil
 }
 
-func utilization(p *core.Program) float64 {
+func utilization(p *pinbcast.Program) float64 {
 	busy := 0
 	for _, v := range p.Slots {
-		if v != core.Idle {
+		if v != pinbcast.Idle {
 			busy++
 		}
 	}

@@ -1,23 +1,23 @@
 // Command bdsim runs an end-to-end fault-injection simulation of a
 // broadcast disk: it builds a program for a synthetic workload, streams
 // it through a lossy channel to a population of clients, and reports
-// latency and deadline statistics.
+// latency and deadline statistics. With -stream it instead starts a
+// live Station and prints the streamed broadcast slots.
 //
 // Usage:
 //
 //	bdsim [-files 8] [-clients 25] [-loss 0.05] [-burst] [-faults 1] [-seed 1]
+//	bdsim -stream 64 [-files 4]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 
-	"pinbcast/internal/channel"
-	"pinbcast/internal/client"
-	"pinbcast/internal/core"
-	"pinbcast/internal/sim"
+	"pinbcast"
 	"pinbcast/internal/workload"
 )
 
@@ -28,9 +28,16 @@ func main() {
 	burst := flag.Bool("burst", false, "use the Gilbert–Elliott burst model instead of iid")
 	faults := flag.Int("faults", 1, "designed per-retrieval fault tolerance r")
 	seed := flag.Int64("seed", 1, "random seed")
+	stream := flag.Int("stream", 0, "serve this many live Station slots instead of simulating")
 	flag.Parse()
 
-	if err := run(*nFiles, *nClients, *loss, *burst, *faults, *seed); err != nil {
+	var err error
+	if *stream > 0 {
+		err = runStream(*nFiles, *faults, *seed, *stream)
+	} else {
+		err = run(*nFiles, *nClients, *loss, *burst, *faults, *seed)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "bdsim:", err)
 		os.Exit(1)
 	}
@@ -41,32 +48,32 @@ func run(nFiles, nClients int, loss float64, burst bool, faults int, seed int64)
 	for i := range files {
 		files[i].Faults = faults
 	}
-	prog, err := core.BuildProgramAuto(files)
+	prog, err := pinbcast.Build(pinbcast.BuildConfig{Files: files})
 	if err != nil {
 		return err
 	}
 	fmt.Printf("bandwidth: %d blocks/unit (Eq 2), period %d, data cycle %d\n",
 		prog.Bandwidth, prog.Period, prog.DataCycle())
 
-	var fault channel.FaultModel
+	var fault pinbcast.FaultModel
 	if burst {
-		fault = channel.NewGilbertElliott(loss/2, 0.2, 0.9, seed)
+		fault = pinbcast.BurstFaults(loss/2, 0.2, 0.9, seed)
 	} else {
-		fault = channel.NewBernoulli(loss, seed)
+		fault = pinbcast.BernoulliFaults(loss, seed)
 	}
 
 	contents := workload.Contents(files, 128, seed)
-	var clients []sim.ClientSpec
+	var clients []pinbcast.ClientSpec
 	for c := 0; c < nClients; c++ {
 		f := files[c%len(files)]
-		clients = append(clients, sim.ClientSpec{
+		clients = append(clients, pinbcast.ClientSpec{
 			Start: (c * 37) % (4 * prog.Period),
-			Requests: []client.Request{
+			Requests: []pinbcast.Request{
 				{File: f.Name, Deadline: prog.Bandwidth * f.Latency},
 			},
 		})
 	}
-	rep, err := sim.Run(sim.Config{
+	rep, err := pinbcast.Simulate(pinbcast.SimConfig{
 		Program:  prog,
 		Contents: contents,
 		Fault:    fault,
@@ -94,5 +101,43 @@ func run(nFiles, nClients int, loss float64, burst bool, faults int, seed int64)
 			st.MeanLatency, st.MaxLatency)
 	}
 	fmt.Printf("overall deadline miss ratio: %.2f%%\n", 100*rep.MissRatio())
+	return nil
+}
+
+// runStream brings up a live Station for the workload and prints the
+// first n slots of its broadcast stream.
+func runStream(nFiles, faults int, seed int64, n int) error {
+	files := workload.Random(nFiles, 6, 10, 80, 0, seed)
+	for i := range files {
+		files[i].Faults = faults
+	}
+	st, err := pinbcast.New(
+		pinbcast.WithFiles(files...),
+		pinbcast.WithContents(workload.Contents(files, 128, seed)),
+	)
+	if err != nil {
+		return err
+	}
+	prog := st.Program()
+	fmt.Printf("station: bandwidth %d blocks/unit, period %d, data cycle %d\n",
+		st.Bandwidth(), prog.Period, prog.DataCycle())
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	slots, err := st.Serve(ctx)
+	if err != nil {
+		return err
+	}
+	for slot := range slots {
+		if slot.Idle() {
+			fmt.Printf("slot %4d gen %d  ⊔\n", slot.T, slot.Generation)
+		} else {
+			fmt.Printf("slot %4d gen %d  %s[%d]  %d bytes\n",
+				slot.T, slot.Generation, slot.File, slot.Seq+1, len(slot.Payload))
+		}
+		if slot.T+1 >= n {
+			break
+		}
+	}
 	return nil
 }

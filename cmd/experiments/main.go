@@ -8,10 +8,12 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
+	"pinbcast"
 	"pinbcast/internal/exp"
 )
 
@@ -21,11 +23,17 @@ func main() {
 
 	tables, err := exp.All()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
+		if errors.Is(err, pinbcast.ErrInfeasible) || errors.Is(err, pinbcast.ErrBadSpec) {
+			fmt.Fprintln(os.Stderr, "experiments: internal error: paper instance rejected:", err)
+		} else {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+		}
 		os.Exit(1)
 	}
 	printed := 0
+	var ids []string
 	for _, t := range tables {
+		ids = append(ids, t.ID)
 		if *only != "" && t.ID != *only {
 			continue
 		}
@@ -33,7 +41,7 @@ func main() {
 		printed++
 	}
 	if printed == 0 {
-		fmt.Fprintf(os.Stderr, "experiments: no experiment %q\n", *only)
+		fmt.Fprintf(os.Stderr, "experiments: no experiment %q (have %v)\n", *only, ids)
 		os.Exit(1)
 	}
 }

@@ -1,10 +1,11 @@
 // Command pinsched schedules a pinwheel task system given as a/b pairs
-// and prints the verified schedule.
+// and prints the verified schedule. Schedulers come from the pinbcast
+// scheduler registry.
 //
 // Usage:
 //
 //	pinsched 1/2 1/3
-//	pinsched -scheduler Sa 1/4 2/8
+//	pinsched -scheduler sa 1/4 2/8
 //
 // Each argument a/b is a task requiring at least a slots of every b
 // consecutive slots.
@@ -18,11 +19,12 @@ import (
 	"strconv"
 	"strings"
 
-	"pinbcast/internal/pinwheel"
+	"pinbcast"
 )
 
 func main() {
-	scheduler := flag.String("scheduler", "Portfolio", "scheduler to use: Sa, Sx, EDF or Portfolio")
+	scheduler := flag.String("scheduler", pinbcast.SchedulerPortfolio,
+		"scheduler to use (registered: "+strings.Join(pinbcast.SchedulerNames(), ", ")+")")
 	flag.Parse()
 
 	sys, err := parseTasks(flag.Args())
@@ -31,22 +33,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: pinsched [-scheduler name] a/b [a/b ...]")
 		os.Exit(2)
 	}
-	var run func(pinwheel.System) (*pinwheel.Schedule, error)
-	for _, s := range pinwheel.Schedulers() {
-		if strings.EqualFold(s.Name, *scheduler) {
-			run = s.Run
-		}
-	}
-	if run == nil {
-		fmt.Fprintf(os.Stderr, "pinsched: unknown scheduler %q\n", *scheduler)
+	sched, ok := pinbcast.LookupScheduler(strings.ToLower(*scheduler))
+	if !ok {
+		fmt.Fprintf(os.Stderr, "pinsched: unknown scheduler %q (registered: %s)\n",
+			*scheduler, strings.Join(pinbcast.SchedulerNames(), ", "))
 		os.Exit(2)
 	}
 
 	fmt.Printf("system:  %s\n", sys)
-	fmt.Printf("density: %.4f (Chan–Chin 7/10 test: %v)\n", sys.Density(), pinwheel.DensityTestCC(sys))
-	sch, err := run(sys)
+	fmt.Printf("density: %.4f (Chan–Chin 7/10 test: %v)\n", sys.Density(), pinbcast.DensityTestCC(sys))
+	sch, err := sched.Schedule(sys)
 	if err != nil {
-		if errors.Is(err, pinwheel.ErrInfeasible) {
+		if errors.Is(err, pinbcast.ErrInfeasible) {
 			fmt.Println("result:  infeasible (proved)")
 			return
 		}
@@ -65,11 +63,11 @@ func main() {
 	}
 }
 
-func parseTasks(args []string) (pinwheel.System, error) {
+func parseTasks(args []string) (pinbcast.TaskSystem, error) {
 	if len(args) == 0 {
 		return nil, errors.New("no tasks given")
 	}
-	sys := make(pinwheel.System, 0, len(args))
+	sys := make(pinbcast.TaskSystem, 0, len(args))
 	for _, arg := range args {
 		parts := strings.Split(arg, "/")
 		if len(parts) != 2 {
@@ -83,7 +81,7 @@ func parseTasks(args []string) (pinwheel.System, error) {
 		if err != nil {
 			return nil, fmt.Errorf("task %q: %v", arg, err)
 		}
-		sys = append(sys, pinwheel.Task{A: a, B: b})
+		sys = append(sys, pinbcast.Task{A: a, B: b})
 	}
 	return sys, sys.Validate()
 }

@@ -19,6 +19,43 @@
 //     the paper's pinwheel algebra (§4), mechanized here by a certifying
 //     forcing engine.
 //
+// # The Station service
+//
+// The primary entry point is the Station: a long-lived broadcast
+// service constructed with functional options that owns schedule
+// construction, the dispersed file database, and a context-aware
+// streaming broadcast loop:
+//
+//	station, err := pinbcast.New(
+//		pinbcast.WithFile(pinbcast.FileSpec{Name: "traffic", Blocks: 4, Latency: 8, Faults: 1}, bulletin),
+//		pinbcast.WithFile(pinbcast.FileSpec{Name: "map", Blocks: 8, Latency: 40}, tiles),
+//	)
+//	if err != nil { ... }
+//	slots, err := station.Serve(ctx) // <-chan Slot, closed on ctx cancel
+//	for slot := range slots {
+//		transmit(slot.Payload) // one self-identifying AIDA block per slot
+//	}
+//
+// Files are admitted and evicted online — station.Admit runs the
+// paper's density-based admission control and swaps in the rebuilt
+// program at the next data-cycle boundary (§2.3), so every guarantee
+// of the outgoing program completes first. See ExampleStation for a
+// complete runnable lifecycle.
+//
+// Schedulers are pluggable: the paper's portfolio members (Sa, Sx,
+// EDF, the two-distinct specialization, exact search) are registered
+// under names, selectable per Station with WithSchedulers or
+// WithSchedulerNames, and applications may register their own with
+// RegisterScheduler. Every schedule is re-verified against its task
+// system before a program is built from it.
+//
+// All failures wrap the package's typed errors — ErrBadSpec,
+// ErrInfeasible, ErrBandwidth, ErrAdmission — so callers classify them
+// with errors.Is regardless of the originating layer.
+//
+// One-shot construction (without a service lifecycle) goes through
+// Build, Simulate and BuildGeneralizedProgram.
+//
 // The top-level package is a facade over the implementation packages:
 //
 //	internal/gf256     GF(2⁸) field arithmetic
@@ -35,6 +72,6 @@
 //	internal/workload  scenario generators
 //	internal/exp       paper table/figure reproduction
 //
-// See README.md for a quickstart and DESIGN.md for the system
-// inventory and experiment index.
+// See README.md for a quickstart and the mapping from API names to the
+// paper's sections.
 package pinbcast

@@ -1,0 +1,49 @@
+package pinbcast
+
+import (
+	"errors"
+
+	"pinbcast/internal/bcerr"
+	"pinbcast/internal/pinwheel"
+)
+
+// Typed error hierarchy. Every failure the package returns wraps one of
+// these sentinels, so callers classify errors with errors.Is regardless
+// of which layer (core construction, pinwheel scheduling, the algebra,
+// admission control, or the Station service) produced them:
+//
+//	prog, err := pinbcast.Build(cfg)
+//	switch {
+//	case errors.Is(err, pinbcast.ErrBadSpec):    // fix the specification
+//	case errors.Is(err, pinbcast.ErrBandwidth):  // raise the bandwidth
+//	case errors.Is(err, pinbcast.ErrInfeasible): // no schedule exists
+//	}
+var (
+	// ErrBadSpec reports an invalid specification: a malformed file,
+	// task, item or condition rejected by validation.
+	ErrBadSpec = bcerr.ErrBadSpec
+
+	// ErrInfeasible reports a proved infeasibility: no schedule exists
+	// for the requested system.
+	ErrInfeasible = bcerr.ErrInfeasible
+
+	// ErrBandwidth reports that the channel bandwidth is insufficient
+	// for the requested file set.
+	ErrBandwidth = bcerr.ErrBandwidth
+
+	// ErrAdmission reports that admission control rejected a candidate
+	// file because its guarantee cannot be added without endangering the
+	// guarantees already given.
+	ErrAdmission = bcerr.ErrAdmission
+
+	// ErrSchedulerFailed reports that no scheduler in the configured
+	// chain produced a schedule, without proving infeasibility — the
+	// instance is undecided; a different chain (or the portfolio) may
+	// still succeed.
+	ErrSchedulerFailed = pinwheel.ErrSchedulerFailed
+
+	// ErrServing reports a lifecycle misuse of a Station: Serve called
+	// while a previous Serve loop is still running, or a mutation that
+	// requires a quiesced station.
+	ErrServing = errors.New("pinbcast: station is already serving")
+)

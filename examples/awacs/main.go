@@ -3,12 +3,13 @@
 // whose temporal-consistency constraints derive from platform
 // velocities: an aircraft at 900 km/h with 100 m required accuracy must
 // be refreshed every 400 ms, a 60 km/h tank every 6 s. Operation modes
-// ("combat", "landing") scale each item's AIDA redundancy, and
-// admission control protects the guarantees of items already on the
-// disk.
+// ("combat", "landing") scale each item's AIDA redundancy, and a live
+// Station admits or rejects new sensor feeds online, protecting the
+// guarantees of items already on the disk.
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"time"
@@ -33,14 +34,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		bw, err := db.Bandwidth(mode)
+		program, err := pinbcast.Build(pinbcast.BuildConfig{Files: files})
 		if err != nil {
 			log.Fatal(err)
 		}
-		program, err := db.Program(mode)
-		if err != nil {
-			log.Fatal(err)
-		}
+		bw := program.Bandwidth
 		fmt.Printf("mode %-8s bandwidth %d blocks/unit (%d blocks/s), period %d slots\n",
 			mode, bw, bw*int(time.Second/db.Unit), program.Period)
 		for i, f := range files {
@@ -50,24 +48,33 @@ func main() {
 	}
 	fmt.Println()
 
-	// Admission control: a new sensor feed may join only if the density
-	// test still passes at the current bandwidth.
+	// A live combat-mode station with online admission control: a new
+	// sensor feed joins only if the density test still passes at the
+	// station's bandwidth.
 	combat, err := db.FileSpecs("combat")
 	if err != nil {
 		log.Fatal(err)
 	}
-	bw, _ := db.Bandwidth("combat")
-	feed := pinbcast.FileSpec{Name: "radar-sweep", Blocks: 2, Latency: 30, Faults: 1}
-	admitted, err := pinbcast.Admit(combat, feed, bw)
+	station, err := pinbcast.New(
+		pinbcast.WithDatabase(db, "combat"),
+		pinbcast.WithContents(workload.Contents(combat, 64, 1)),
+	)
 	if err != nil {
+		log.Fatal(err)
+	}
+	feed := pinbcast.FileSpec{Name: "radar-sweep", Blocks: 2, Latency: 30, Faults: 1}
+	if err := station.Admit(feed, []byte("radar sweep frame")); err != nil {
 		fmt.Printf("admission of %s REJECTED: %v\n", feed.Name, err)
 	} else {
-		fmt.Printf("admitted %s: disk now carries %d items\n", feed.Name, len(admitted))
+		fmt.Printf("admitted %s: disk now carries %d items (generation %d)\n",
+			feed.Name, len(station.Files()), station.Generation())
 	}
 	flood := pinbcast.FileSpec{Name: "video-feed", Blocks: 200, Latency: 10}
-	if _, err := pinbcast.Admit(admitted, flood, bw); err != nil {
+	if err := station.Admit(flood, []byte("raw video")); errors.Is(err, pinbcast.ErrAdmission) {
 		fmt.Printf("admission of %s rejected as designed: density bound protects deadlines\n",
 			flood.Name)
+	} else if err != nil {
+		log.Fatal(err)
 	} else {
 		log.Fatal("flood item unexpectedly admitted")
 	}

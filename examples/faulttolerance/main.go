@@ -12,9 +12,7 @@ import (
 	"log"
 
 	"pinbcast"
-	"pinbcast/internal/channel"
 	"pinbcast/internal/core"
-	"pinbcast/internal/sim"
 )
 
 func main() {
@@ -47,13 +45,13 @@ func main() {
 	fmt.Println("single adversarial error on file A:")
 	for _, tc := range []struct {
 		name string
-		prog *core.Program
+		prog *pinbcast.Program
 	}{{"flat", flat}, {"AIDA", aida}} {
 		kill := tc.prog.Occurrences(0)[4]
-		rep, err := pinbcast.Simulate(sim.Config{
+		rep, err := pinbcast.Simulate(pinbcast.SimConfig{
 			Program:  tc.prog,
 			Contents: contents,
-			Fault:    channel.SlotSet{kill: true},
+			Fault:    pinbcast.SlotFaults(kill),
 			Clients: []pinbcast.ClientSpec{
 				{Start: 0, Requests: []pinbcast.Request{{File: "A"}}},
 			},

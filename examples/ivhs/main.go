@@ -26,7 +26,7 @@ func main() {
 	bw := pinbcast.SufficientBandwidth(files)
 	fmt.Printf("Equation-2 bandwidth: %d blocks/unit = %d blocks/s\n", bw, bw*10)
 
-	program, err := pinbcast.BuildProgram(files, bw)
+	program, err := pinbcast.Build(pinbcast.BuildConfig{Files: files, Bandwidth: bw})
 	if err != nil {
 		log.Fatal(err)
 	}

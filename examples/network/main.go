@@ -22,7 +22,7 @@ func main() {
 		{Name: "alerts", Blocks: 2, Latency: 6, Faults: 1},
 		{Name: "charts", Blocks: 6, Latency: 30},
 	}
-	program, err := pinbcast.BuildProgramAuto(files)
+	program, err := pinbcast.Build(pinbcast.BuildConfig{Files: files})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -52,7 +52,7 @@ func main() {
 				log.Fatal(err)
 			}
 			defer recv.Close()
-			c, err := client.New(0, map[uint32]string{0: "alerts", 1: "charts"},
+			c, err := client.New(0, srv.Names(),
 				[]client.Request{{File: file}})
 			if err != nil {
 				log.Fatal(err)

@@ -1,10 +1,12 @@
-// Quickstart: build a fault-tolerant real-time broadcast program for
-// two files, run a lossy-channel simulation, and verify that a client
-// retrieves both files intact and on time.
+// Quickstart: run a broadcast disk as a live Station service — build a
+// fault-tolerant real-time program for two files, stream it with
+// Serve(ctx), reconstruct a file from the slot stream, and admit a
+// third file online at a data-cycle boundary.
 package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 
@@ -15,50 +17,61 @@ func main() {
 	// Two files: a hot traffic bulletin that must be retrievable within
 	// 8 time units even if one of its blocks is destroyed, and a colder
 	// map that can take 40.
-	files := []pinbcast.FileSpec{
-		{Name: "traffic", Blocks: 4, Latency: 8, Faults: 1},
-		{Name: "map", Blocks: 8, Latency: 40},
-	}
-
-	fmt.Printf("necessary bandwidth:   %.3f blocks/unit\n", pinbcast.NecessaryBandwidth(files))
-	fmt.Printf("Equation-2 bandwidth:  %d blocks/unit\n", pinbcast.SufficientBandwidth(files))
-
-	program, err := pinbcast.BuildProgramAuto(files)
+	traffic := []byte("congestion northbound at exit 9; reroute via route 128")
+	tiles := bytes.Repeat([]byte("tile "), 64)
+	station, err := pinbcast.New(
+		pinbcast.WithFile(pinbcast.FileSpec{Name: "traffic", Blocks: 4, Latency: 8, Faults: 1}, traffic),
+		pinbcast.WithFile(pinbcast.FileSpec{Name: "map", Blocks: 8, Latency: 40}, tiles),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("program period:        %d slots, data cycle %d slots\n",
+	program := station.Program()
+	fmt.Printf("bandwidth:      %d blocks/unit (Equation 2)\n", station.Bandwidth())
+	fmt.Printf("program period: %d slots, data cycle %d slots\n",
 		program.Period, program.DataCycle())
 
-	contents := map[string][]byte{
-		"traffic": []byte("congestion northbound at exit 9; reroute via route 128"),
-		"map":     bytes.Repeat([]byte("tile "), 64),
-	}
-	report, err := pinbcast.Simulate(pinbcast.SimConfig{
-		Program:  program,
-		Contents: contents,
-		Fault:    pinbcast.BernoulliFaults(0.05, 42), // 5% block loss
-		Clients: []pinbcast.ClientSpec{
-			{Start: 3, Requests: []pinbcast.Request{
-				{File: "traffic", Deadline: program.Bandwidth * 8},
-				{File: "map", Deadline: program.Bandwidth * 40},
-			}},
-		},
-		Horizon: 64 * program.DataCycle(),
-	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	slots, err := station.Serve(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	for _, r := range report.Results {
-		status := "MISSED"
-		if r.DeadlineMet {
-			status = "met"
+	// Reconstruct "traffic" straight from the slot stream: any 4
+	// distinct blocks suffice (Rabin's IDA).
+	blocks := map[int]*pinbcast.Block{}
+	for slot := range slots {
+		if slot.File == "traffic" {
+			blocks[slot.Seq] = slot.Block
+			if len(blocks) == 4 {
+				got := make([]*pinbcast.Block, 0, len(blocks))
+				for _, b := range blocks {
+					got = append(got, b)
+				}
+				data, err := pinbcast.Reconstruct(got)
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("reconstructed %q after %d slots, intact: %v\n",
+					"traffic", slot.T+1, bytes.Equal(data, traffic))
+				break
+			}
 		}
-		intact := bytes.Equal(r.Data, contents[r.File])
-		fmt.Printf("file %-8s latency %3d slots (deadline %3d, %s), content intact: %v\n",
-			r.File, r.Latency, r.Deadline, status, intact)
 	}
-	fmt.Printf("channel: %d blocks sent, %d corrupted\n",
-		report.BlocksSent, report.BlocksCorrupted)
+
+	// Admit a third file online: admission control verifies the density
+	// guarantee, and the new program takes over at the next data-cycle
+	// boundary of the running broadcast.
+	err = station.Admit(pinbcast.FileSpec{Name: "alerts", Blocks: 2, Latency: 20}, []byte("storm cell NE"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for slot := range slots {
+		if slot.Generation == 2 {
+			fmt.Printf("admitted %q online: generation 2 live at slot %d (%d files)\n",
+				"alerts", slot.T, len(station.Files()))
+			break
+		}
+	}
 }

@@ -1,0 +1,3 @@
+module pinbcast
+
+go 1.24

@@ -13,9 +13,10 @@
 package algebra
 
 import (
-	"errors"
 	"fmt"
 	"strings"
+
+	"pinbcast/internal/bcerr"
 )
 
 // PC is a pinwheel-task condition pc(task, a, b): the broadcast program
@@ -41,9 +42,9 @@ func (p PC) String() string {
 func (p PC) Validate() error {
 	switch {
 	case p.A < 1:
-		return fmt.Errorf("algebra: %s has A < 1", p)
+		return fmt.Errorf("algebra: %s has A < 1: %w", p, bcerr.ErrBadSpec)
 	case p.B < p.A:
-		return fmt.Errorf("algebra: %s has B < A (unsatisfiable)", p)
+		return fmt.Errorf("algebra: %s has B < A (unsatisfiable): %w", p, bcerr.ErrBadSpec)
 	}
 	return nil
 }
@@ -80,15 +81,15 @@ func (b BC) String() string {
 // the blocks it demands (D[j] ≥ M+j).
 func (b BC) Validate() error {
 	if b.M < 1 {
-		return fmt.Errorf("algebra: %s has M < 1", b)
+		return fmt.Errorf("algebra: %s has M < 1: %w", b, bcerr.ErrBadSpec)
 	}
 	if len(b.D) == 0 {
-		return fmt.Errorf("algebra: %s has an empty latency vector", b)
+		return fmt.Errorf("algebra: %s has an empty latency vector: %w", b, bcerr.ErrBadSpec)
 	}
 	for j, d := range b.D {
 		if d < b.M+j {
-			return fmt.Errorf("algebra: %s demands %d blocks in a window of %d (level %d)",
-				b, b.M+j, d, j)
+			return fmt.Errorf("algebra: %s demands %d blocks in a window of %d (level %d): %w",
+				b, b.M+j, d, j, bcerr.ErrBadSpec)
 		}
 	}
 	return nil
@@ -165,7 +166,7 @@ func (n NiceConjunct) Density() float64 {
 // Validate checks niceness (distinct scheduler tasks) and each member.
 func (n NiceConjunct) Validate() error {
 	if len(n) == 0 {
-		return errors.New("algebra: empty conjunct")
+		return fmt.Errorf("algebra: empty conjunct: %w", bcerr.ErrBadSpec)
 	}
 	seen := make(map[string]bool, len(n))
 	for _, m := range n {

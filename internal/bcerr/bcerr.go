@@ -1,0 +1,29 @@
+// Package bcerr defines the sentinel errors shared across the pinbcast
+// layers. Every layer wraps these with fmt.Errorf("...: %w", ...) so
+// callers of the public facade can classify failures with errors.Is
+// without knowing which internal layer produced them.
+package bcerr
+
+import "errors"
+
+var (
+	// ErrBadSpec reports an invalid specification: a malformed file,
+	// task, item or condition that fails validation before any
+	// scheduling is attempted.
+	ErrBadSpec = errors.New("invalid specification")
+
+	// ErrInfeasible reports a proved infeasibility: no schedule exists
+	// for the requested system (density above 1, or an exhausted exact
+	// search).
+	ErrInfeasible = errors.New("system is infeasible")
+
+	// ErrBandwidth reports that the channel bandwidth is insufficient
+	// for the requested file set, or that no feasible bandwidth was
+	// found within the search ceiling.
+	ErrBandwidth = errors.New("insufficient bandwidth")
+
+	// ErrAdmission reports that admission control rejected a candidate
+	// because admitting it would break the density guarantee of the
+	// already-admitted files.
+	ErrAdmission = errors.New("admission rejected")
+)

@@ -1,10 +1,10 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"math"
 
+	"pinbcast/internal/bcerr"
 	"pinbcast/internal/pinwheel"
 )
 
@@ -48,8 +48,9 @@ func TaskSystem(files []FileSpec, b int) pinwheel.System {
 }
 
 // ErrNoBandwidth is returned when no feasible bandwidth is found below
-// the search ceiling.
-var ErrNoBandwidth = errors.New("core: no feasible bandwidth found")
+// the search ceiling. It wraps the shared bandwidth sentinel so facade
+// callers can classify it with errors.Is.
+var ErrNoBandwidth = fmt.Errorf("core: no feasible bandwidth found: %w", bcerr.ErrBandwidth)
 
 // MinBandwidth returns the smallest bandwidth at which the scheduler
 // portfolio actually constructs a program, scanning upward from the

@@ -4,8 +4,14 @@ import (
 	"fmt"
 
 	"pinbcast/internal/algebra"
+	"pinbcast/internal/bcerr"
 	"pinbcast/internal/pinwheel"
 )
+
+// Solver turns a pinwheel system into a verified schedule. The default
+// solver is the portfolio (pinwheel.Solve); the facade injects custom
+// scheduler chains through this hook.
+type Solver func(pinwheel.System) (*pinwheel.Schedule, error)
 
 // BuildProgram constructs a fault-tolerant real-time broadcast program
 // for the files at bandwidth B blocks per time unit: it schedules the
@@ -15,19 +21,33 @@ import (
 // at least mᵢ+rᵢ distinct blocks of file i, so a client meets latency
 // Tᵢ despite up to rᵢ block errors.
 func BuildProgram(files []FileSpec, bandwidth int) (*Program, error) {
+	return BuildProgramWith(files, bandwidth, nil)
+}
+
+// BuildProgramWith is BuildProgram with an injected solver; a nil
+// solver uses the scheduler portfolio.
+func BuildProgramWith(files []FileSpec, bandwidth int, solve Solver) (*Program, error) {
 	if err := ValidateAll(files); err != nil {
 		return nil, err
 	}
 	if bandwidth < 1 {
-		return nil, fmt.Errorf("core: bandwidth %d < 1", bandwidth)
+		return nil, fmt.Errorf("core: bandwidth %d < 1: %w", bandwidth, bcerr.ErrBandwidth)
 	}
 	sys := TaskSystem(files, bandwidth)
 	if err := sys.Validate(); err != nil {
-		return nil, fmt.Errorf("core: bandwidth %d too low: %w", bandwidth, err)
+		// ValidateAll passed, so the only way the task system is invalid
+		// is a window B·Tᵢ smaller than the demand mᵢ+rᵢ.
+		return nil, fmt.Errorf("core: bandwidth %d too low (%v): %w", bandwidth, err, bcerr.ErrBandwidth)
 	}
-	sch, err := pinwheel.Solve(sys, nil)
+	if solve == nil {
+		solve = func(s pinwheel.System) (*pinwheel.Schedule, error) { return pinwheel.Solve(s, nil) }
+	}
+	sch, err := solve(sys)
 	if err != nil {
 		return nil, fmt.Errorf("core: scheduling at bandwidth %d: %w", bandwidth, err)
+	}
+	if err := sch.Verify(sys); err != nil {
+		return nil, fmt.Errorf("core: solver returned an invalid schedule: %w", err)
 	}
 	infos := make([]FileInfo, len(files))
 	for i, f := range files {

@@ -14,8 +14,9 @@
 package core
 
 import (
-	"errors"
 	"fmt"
+
+	"pinbcast/internal/bcerr"
 )
 
 // FileSpec describes a regular fault-tolerant real-time broadcast file
@@ -36,16 +37,16 @@ type FileSpec struct {
 func (f FileSpec) Validate() error {
 	switch {
 	case f.Blocks < 1:
-		return fmt.Errorf("core: file %q has %d blocks", f.Name, f.Blocks)
+		return fmt.Errorf("core: file %q has %d blocks: %w", f.Name, f.Blocks, bcerr.ErrBadSpec)
 	case f.Latency < 1:
-		return fmt.Errorf("core: file %q has latency %d", f.Name, f.Latency)
+		return fmt.Errorf("core: file %q has latency %d: %w", f.Name, f.Latency, bcerr.ErrBadSpec)
 	case f.Faults < 0:
-		return fmt.Errorf("core: file %q has negative fault tolerance", f.Name)
+		return fmt.Errorf("core: file %q has negative fault tolerance: %w", f.Name, bcerr.ErrBadSpec)
 	case f.DispersalWidth != 0 && f.DispersalWidth < f.Blocks+f.Faults:
-		return fmt.Errorf("core: file %q dispersal width %d below blocks+faults %d",
-			f.Name, f.DispersalWidth, f.Blocks+f.Faults)
+		return fmt.Errorf("core: file %q dispersal width %d below blocks+faults %d: %w",
+			f.Name, f.DispersalWidth, f.Blocks+f.Faults, bcerr.ErrBadSpec)
 	case f.DispersalWidth > 256 || f.Blocks+f.Faults > 256:
-		return fmt.Errorf("core: file %q dispersal exceeds GF(2⁸) limit of 256", f.Name)
+		return fmt.Errorf("core: file %q dispersal exceeds GF(2⁸) limit of 256: %w", f.Name, bcerr.ErrBadSpec)
 	}
 	return nil
 }
@@ -65,7 +66,7 @@ func (f FileSpec) Demand() int { return f.Blocks + f.Faults }
 // uniqueness.
 func ValidateAll(files []FileSpec) error {
 	if len(files) == 0 {
-		return errors.New("core: no files")
+		return fmt.Errorf("core: no files: %w", bcerr.ErrBadSpec)
 	}
 	seen := make(map[string]bool, len(files))
 	for _, f := range files {
@@ -74,7 +75,7 @@ func ValidateAll(files []FileSpec) error {
 		}
 		if f.Name != "" {
 			if seen[f.Name] {
-				return fmt.Errorf("core: duplicate file name %q", f.Name)
+				return fmt.Errorf("core: duplicate file name %q: %w", f.Name, bcerr.ErrBadSpec)
 			}
 			seen[f.Name] = true
 		}
@@ -96,18 +97,18 @@ type GenFileSpec struct {
 // Validate checks the specification.
 func (g GenFileSpec) Validate() error {
 	if g.Name == "" {
-		return errors.New("core: generalized file needs a name")
+		return fmt.Errorf("core: generalized file needs a name: %w", bcerr.ErrBadSpec)
 	}
 	if g.Blocks < 1 {
-		return fmt.Errorf("core: file %q has %d blocks", g.Name, g.Blocks)
+		return fmt.Errorf("core: file %q has %d blocks: %w", g.Name, g.Blocks, bcerr.ErrBadSpec)
 	}
 	if len(g.Latencies) == 0 {
-		return fmt.Errorf("core: file %q has no latency vector", g.Name)
+		return fmt.Errorf("core: file %q has no latency vector: %w", g.Name, bcerr.ErrBadSpec)
 	}
 	for j, d := range g.Latencies {
 		if d < g.Blocks+j {
-			return fmt.Errorf("core: file %q level %d latency %d below %d blocks",
-				g.Name, j, d, g.Blocks+j)
+			return fmt.Errorf("core: file %q level %d latency %d below %d blocks: %w",
+				g.Name, j, d, g.Blocks+j, bcerr.ErrBadSpec)
 		}
 	}
 	return nil

@@ -24,6 +24,8 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+
+	"pinbcast/internal/bcerr"
 )
 
 // Task is a pinwheel task: the resource must be allocated to it for at
@@ -50,11 +52,11 @@ func (t Task) String() string {
 func (t Task) Validate() error {
 	switch {
 	case t.A < 1:
-		return fmt.Errorf("pinwheel: task %s has A < 1", t)
+		return fmt.Errorf("pinwheel: task %s has A < 1: %w", t, bcerr.ErrBadSpec)
 	case t.B < 1:
-		return fmt.Errorf("pinwheel: task %s has B < 1", t)
+		return fmt.Errorf("pinwheel: task %s has B < 1: %w", t, bcerr.ErrBadSpec)
 	case t.A > t.B:
-		return fmt.Errorf("pinwheel: task %s has A > B (infeasible)", t)
+		return fmt.Errorf("pinwheel: task %s has A > B: %w", t, bcerr.ErrInfeasible)
 	}
 	return nil
 }
@@ -76,7 +78,7 @@ func (s System) Density() float64 {
 // Validate checks every task and that the system is non-empty.
 func (s System) Validate() error {
 	if len(s) == 0 {
-		return errors.New("pinwheel: empty system")
+		return fmt.Errorf("pinwheel: empty system: %w", bcerr.ErrBadSpec)
 	}
 	for _, t := range s {
 		if err := t.Validate(); err != nil {
@@ -129,10 +131,12 @@ func DensityTestCC(s System) bool {
 	return s.Density() <= 0.7+eps
 }
 
-// Sentinel errors reported by the schedulers.
+// Sentinel errors reported by the schedulers. ErrInfeasible is the
+// shared bcerr sentinel so that errors.Is classification works across
+// layers and through the public facade.
 var (
 	// ErrInfeasible indicates the system provably has no schedule.
-	ErrInfeasible = errors.New("pinwheel: system is infeasible")
+	ErrInfeasible = bcerr.ErrInfeasible
 	// ErrSchedulerFailed indicates this scheduler could not produce a
 	// schedule; the system may still be feasible for another scheduler.
 	ErrSchedulerFailed = errors.New("pinwheel: scheduler failed to find a schedule")

@@ -11,11 +11,11 @@
 package rtdb
 
 import (
-	"errors"
 	"fmt"
 	"math"
 	"time"
 
+	"pinbcast/internal/bcerr"
 	"pinbcast/internal/core"
 	"pinbcast/internal/pinwheel"
 )
@@ -46,17 +46,17 @@ type Item struct {
 func (it Item) Validate() error {
 	switch {
 	case it.Name == "":
-		return errors.New("rtdb: item needs a name")
+		return fmt.Errorf("rtdb: item needs a name: %w", bcerr.ErrBadSpec)
 	case it.Velocity <= 0:
-		return fmt.Errorf("rtdb: item %q has nonpositive velocity", it.Name)
+		return fmt.Errorf("rtdb: item %q has nonpositive velocity: %w", it.Name, bcerr.ErrBadSpec)
 	case it.Accuracy <= 0:
-		return fmt.Errorf("rtdb: item %q has nonpositive accuracy", it.Name)
+		return fmt.Errorf("rtdb: item %q has nonpositive accuracy: %w", it.Name, bcerr.ErrBadSpec)
 	case it.Blocks < 1:
-		return fmt.Errorf("rtdb: item %q has %d blocks", it.Name, it.Blocks)
+		return fmt.Errorf("rtdb: item %q has %d blocks: %w", it.Name, it.Blocks, bcerr.ErrBadSpec)
 	}
 	for m, r := range it.FaultsByMode {
 		if r < 0 {
-			return fmt.Errorf("rtdb: item %q has negative faults in mode %q", it.Name, m)
+			return fmt.Errorf("rtdb: item %q has negative faults in mode %q: %w", it.Name, m, bcerr.ErrBadSpec)
 		}
 	}
 	return nil
@@ -86,10 +86,10 @@ type Database struct {
 // Validate checks the database.
 func (db *Database) Validate() error {
 	if db.Unit <= 0 {
-		return errors.New("rtdb: database needs a positive time unit")
+		return fmt.Errorf("rtdb: database needs a positive time unit: %w", bcerr.ErrBadSpec)
 	}
 	if len(db.Items) == 0 {
-		return errors.New("rtdb: no items")
+		return fmt.Errorf("rtdb: no items: %w", bcerr.ErrBadSpec)
 	}
 	seen := map[string]bool{}
 	for _, it := range db.Items {
@@ -167,8 +167,9 @@ func (db *Database) Program(mode Mode) (*core.Program, error) {
 // every admitted item's guarantee.
 
 // ErrRejected is returned when admitting an item would break the
-// density guarantee.
-var ErrRejected = errors.New("rtdb: admission rejected: density bound exceeded")
+// density guarantee. It wraps the shared admission sentinel so facade
+// callers can classify rejections with errors.Is.
+var ErrRejected = fmt.Errorf("rtdb: density bound exceeded: %w", bcerr.ErrAdmission)
 
 // Admit checks whether candidate can join the already-admitted files at
 // bandwidth b and returns the extended file set on success.
@@ -179,7 +180,7 @@ func Admit(admitted []core.FileSpec, candidate core.FileSpec, b int) ([]core.Fil
 	next := append(append([]core.FileSpec(nil), admitted...), candidate)
 	sys := core.TaskSystem(next, b)
 	if err := sys.Validate(); err != nil {
-		return nil, fmt.Errorf("rtdb: candidate infeasible at bandwidth %d: %w", b, err)
+		return nil, fmt.Errorf("rtdb: candidate infeasible at bandwidth %d (%v): %w", b, err, bcerr.ErrAdmission)
 	}
 	if !pinwheel.DensityTestCC(sys) {
 		return nil, fmt.Errorf("%w (density %.4f)", ErrRejected, sys.Density())

@@ -6,31 +6,85 @@ package server
 
 import (
 	"fmt"
+	"hash/fnv"
+	"math"
 
+	"pinbcast/internal/bcerr"
 	"pinbcast/internal/core"
 	"pinbcast/internal/ida"
 )
 
 // Server holds the dispersed database and the broadcast program.
 type Server struct {
-	prog   *core.Program
-	blocks [][]*ida.Block // per file: the N transmitted (AIDA-allocated) blocks
+	prog     *core.Program
+	ids      []uint32 // per file: the stable broadcast identifier
+	names    map[uint32]string
+	blocks   [][]*ida.Block // per file: the N transmitted (AIDA-allocated) blocks
+	payloads [][][]byte     // per file: the marshaled wire form of each block
+}
+
+// FileID returns the stable broadcast identifier for a named file: the
+// FNV-32a hash of the name. Name-derived identifiers survive program
+// rebuilds (admission, eviction, mode changes), so a client holding
+// blocks of a file keeps accumulating across generations of the
+// broadcast program. Unnamed files fall back to their table index.
+func FileID(name string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return h.Sum32()
+}
+
+// FileIDs derives the identifier table for a program and validates it:
+// every file must map to a distinct uint32. A hash collision between
+// two names — or a file table too large for the identifier space — is
+// reported as a specification error rather than silently truncated.
+func FileIDs(prog *core.Program) ([]uint32, error) {
+	ids := make([]uint32, len(prog.Files))
+	owner := make(map[uint32]int, len(prog.Files))
+	for i, info := range prog.Files {
+		if info.Name == "" {
+			if uint64(i) > math.MaxUint32 {
+				return nil, fmt.Errorf("server: file table has %d entries, exceeding the uint32 identifier space: %w",
+					len(prog.Files), bcerr.ErrBadSpec)
+			}
+			ids[i] = uint32(i)
+		} else {
+			ids[i] = FileID(info.Name)
+		}
+		if prev, dup := owner[ids[i]]; dup {
+			return nil, fmt.Errorf("server: file ID collision between %q and %q (id %d): %w",
+				prog.Files[prev].Name, info.Name, ids[i], bcerr.ErrBadSpec)
+		}
+		owner[ids[i]] = i
+	}
+	return ids, nil
 }
 
 // New disperses contents (keyed by file name) according to the
 // program's per-file (M, N) parameters. Every file of the program must
 // have contents.
 func New(prog *core.Program, contents map[string][]byte) (*Server, error) {
-	s := &Server{prog: prog, blocks: make([][]*ida.Block, len(prog.Files))}
+	ids, err := FileIDs(prog)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		prog:     prog,
+		ids:      ids,
+		names:    make(map[uint32]string, len(prog.Files)),
+		blocks:   make([][]*ida.Block, len(prog.Files)),
+		payloads: make([][][]byte, len(prog.Files)),
+	}
 	for i, info := range prog.Files {
+		s.names[ids[i]] = info.Name
 		data, ok := contents[info.Name]
 		if !ok {
-			return nil, fmt.Errorf("server: no contents for file %q", info.Name)
+			return nil, fmt.Errorf("server: no contents for file %q: %w", info.Name, bcerr.ErrBadSpec)
 		}
 		// Disperse into the full width N and allocate all N for
 		// transmission (the program already encodes the redundancy
 		// decision through its slot counts).
-		blocks, err := ida.DisperseFile(uint32(i), data, info.M, info.N)
+		blocks, err := ida.DisperseFile(ids[i], data, info.M, info.N)
 		if err != nil {
 			return nil, fmt.Errorf("server: dispersing %q: %w", info.Name, err)
 		}
@@ -39,6 +93,13 @@ func New(prog *core.Program, contents map[string][]byte) (*Server, error) {
 			return nil, fmt.Errorf("server: allocating %q: %w", info.Name, err)
 		}
 		s.blocks[i] = alloc.Blocks()
+		// Blocks are immutable once allocated: marshal each one now so
+		// the broadcast loop reuses the wire form instead of allocating
+		// per slot.
+		s.payloads[i] = make([][]byte, len(s.blocks[i]))
+		for seq, blk := range s.blocks[i] {
+			s.payloads[i][seq] = blk.Marshal()
+		}
 	}
 	return s, nil
 }
@@ -46,14 +107,30 @@ func New(prog *core.Program, contents map[string][]byte) (*Server, error) {
 // Program returns the broadcast program the server follows.
 func (s *Server) Program() *core.Program { return s.prog }
 
+// ID returns the broadcast identifier of file i of the program table.
+func (s *Server) ID(i int) uint32 { return s.ids[i] }
+
+// Names returns the directory mapping broadcast identifiers to file
+// names — the application metadata a client needs to resolve requests
+// against the self-identifying block stream.
+func (s *Server) Names() map[uint32]string {
+	out := make(map[uint32]string, len(s.names))
+	for id, name := range s.names {
+		out[id] = name
+	}
+	return out
+}
+
 // Emit returns the marshaled block transmitted in slot t, or nil for an
-// idle slot.
+// idle slot. The returned slice is the server's cached wire form,
+// shared across emissions of the same block — callers must copy before
+// mutating (fault injectors do).
 func (s *Server) Emit(t int) []byte {
 	file, seq := s.prog.BlockAt(t)
 	if file == core.Idle {
 		return nil
 	}
-	return s.blocks[file][seq].Marshal()
+	return s.payloads[file][seq]
 }
 
 // EmitBlock returns the unmarshaled block for slot t (for tests and

@@ -1,8 +1,10 @@
 package server
 
 import (
+	"errors"
 	"testing"
 
+	"pinbcast/internal/bcerr"
 	"pinbcast/internal/core"
 	"pinbcast/internal/ida"
 )
@@ -42,9 +44,9 @@ func TestEmitFollowsProgram(t *testing.T) {
 			}
 			continue
 		}
-		if int(blk.FileID) != wantFile || int(blk.Seq) != wantSeq {
+		if blk.FileID != srv.ID(wantFile) || int(blk.Seq) != wantSeq {
 			t.Fatalf("slot %d: block (%d,%d), want (%d,%d)",
-				t0, blk.FileID, blk.Seq, wantFile, wantSeq)
+				t0, blk.FileID, blk.Seq, srv.ID(wantFile), wantSeq)
 		}
 	}
 }
@@ -62,8 +64,8 @@ func TestEmitMarshalRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if blk.FileID != 0 {
-		t.Fatalf("first slot block file = %d", blk.FileID)
+	if blk.FileID != FileID("A") {
+		t.Fatalf("first slot block file = %d, want id of %q", blk.FileID, "A")
 	}
 }
 
@@ -80,7 +82,7 @@ func TestServerBlocksReconstruct(t *testing.T) {
 	var got []*ida.Block
 	for t0 := 0; len(got) < 5; t0++ {
 		blk := srv.EmitBlock(t0)
-		if blk != nil && blk.FileID == 0 {
+		if blk != nil && blk.FileID == FileID("A") {
 			got = append(got, blk)
 		}
 	}
@@ -90,5 +92,53 @@ func TestServerBlocksReconstruct(t *testing.T) {
 	}
 	if string(out) != string(data["A"]) {
 		t.Fatalf("reconstructed %q", out)
+	}
+}
+
+func TestFileIDsStableAndNamed(t *testing.T) {
+	prog := testProgram(t)
+	ids, err := FileIDs(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ids[0] != FileID("A") || ids[1] != FileID("B") {
+		t.Fatalf("ids = %v, want name-derived", ids)
+	}
+	// The identifier of a named file must not depend on its table
+	// position: rebuild the program with the files swapped.
+	swapped, err := core.FlatSpread([]core.FileSpec{
+		{Name: "B", Blocks: 3, Latency: 1, DispersalWidth: 6},
+		{Name: "A", Blocks: 5, Latency: 1, DispersalWidth: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids2, err := FileIDs(swapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ids2[0] != ids[1] || ids2[1] != ids[0] {
+		t.Fatalf("ids not stable under reordering: %v vs %v", ids, ids2)
+	}
+}
+
+func TestFileIDCollisionRejected(t *testing.T) {
+	// "costarring" and "liquid" are a classic FNV-32a collision pair.
+	if FileID("costarring") != FileID("liquid") {
+		t.Skip("collision pair no longer collides")
+	}
+	prog, err := core.FlatSpread([]core.FileSpec{
+		{Name: "costarring", Blocks: 1, Latency: 1},
+		{Name: "liquid", Blocks: 1, Latency: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(prog, map[string][]byte{
+		"costarring": []byte("x"), "liquid": []byte("y"),
+	}); err == nil {
+		t.Fatal("colliding file IDs accepted")
+	} else if !errors.Is(err, bcerr.ErrBadSpec) {
+		t.Fatalf("err = %v, want ErrBadSpec", err)
 	}
 }

@@ -67,10 +67,7 @@ func Run(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	names := make(map[uint32]string, len(cfg.Program.Files))
-	for i, f := range cfg.Program.Files {
-		names[uint32(i)] = f.Name
-	}
+	names := srv.Names()
 	horizon := cfg.Horizon
 	if horizon == 0 {
 		latest := 0

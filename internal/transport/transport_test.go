@@ -57,7 +57,7 @@ func TestWriteFrameOversized(t *testing.T) {
 	}
 }
 
-func newBroadcaster(t *testing.T) (*Broadcaster, *core.Program, map[string][]byte) {
+func newBroadcaster(t *testing.T) (*Broadcaster, *server.Server, map[string][]byte) {
 	prog, err := core.FlatSpread([]core.FileSpec{
 		{Name: "A", Blocks: 5, Latency: 1, DispersalWidth: 10},
 		{Name: "B", Blocks: 3, Latency: 1, DispersalWidth: 6},
@@ -77,11 +77,11 @@ func newBroadcaster(t *testing.T) (*Broadcaster, *core.Program, map[string][]byt
 	if err != nil {
 		t.Fatal(err)
 	}
-	return NewBroadcaster(ln, srv), prog, contents
+	return NewBroadcaster(ln, srv), srv, contents
 }
 
 func TestBroadcastOverTCP(t *testing.T) {
-	b, _, contents := newBroadcaster(t)
+	b, srv, contents := newBroadcaster(t)
 	defer b.Close()
 
 	recv, err := Dial(b.Addr().String())
@@ -99,7 +99,7 @@ func TestBroadcastOverTCP(t *testing.T) {
 
 	// Feed received frames into the standard client until both files
 	// reconstruct.
-	c, err := client.New(0, map[uint32]string{0: "A", 1: "B"},
+	c, err := client.New(0, srv.Names(),
 		[]client.Request{{File: "A"}, {File: "B"}})
 	if err != nil {
 		t.Fatal(err)
@@ -119,7 +119,7 @@ func TestBroadcastOverTCP(t *testing.T) {
 }
 
 func TestBroadcastFanOutTwoClients(t *testing.T) {
-	b, _, contents := newBroadcaster(t)
+	b, srv, contents := newBroadcaster(t)
 	defer b.Close()
 
 	r1, err := Dial(b.Addr().String())
@@ -137,7 +137,7 @@ func TestBroadcastFanOutTwoClients(t *testing.T) {
 	go b.Run(32, 0)
 
 	for i, recv := range []*Receiver{r1, r2} {
-		c, err := client.New(0, map[uint32]string{0: "A", 1: "B"},
+		c, err := client.New(0, srv.Names(),
 			[]client.Request{{File: "A"}})
 		if err != nil {
 			t.Fatal(err)

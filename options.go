@@ -1,0 +1,130 @@
+package pinbcast
+
+import (
+	"fmt"
+	"time"
+)
+
+// stationConfig collects the options a Station is built from.
+type stationConfig struct {
+	files      []FileSpec
+	contents   map[string][]byte
+	bandwidth  int // 0 = size with Equation 2
+	schedulers []Scheduler
+	interval   time.Duration
+	buffer     int
+}
+
+// Option configures a Station under construction. Options are applied
+// in order; later options override earlier ones where they overlap.
+type Option func(*stationConfig) error
+
+// WithFiles appends broadcast file specifications to the station's
+// database. Contents for every named file must be supplied through
+// WithContents or WithFile before the station can serve.
+func WithFiles(files ...FileSpec) Option {
+	return func(c *stationConfig) error {
+		c.files = append(c.files, files...)
+		return nil
+	}
+}
+
+// WithFile appends one file specification together with its contents.
+func WithFile(f FileSpec, contents []byte) Option {
+	return func(c *stationConfig) error {
+		c.files = append(c.files, f)
+		c.contents[f.Name] = contents
+		return nil
+	}
+}
+
+// WithContents supplies file contents keyed by file name, merged over
+// any contents already configured.
+func WithContents(contents map[string][]byte) Option {
+	return func(c *stationConfig) error {
+		for name, data := range contents {
+			c.contents[name] = data
+		}
+		return nil
+	}
+}
+
+// WithBandwidth fixes the channel bandwidth in blocks per time unit.
+// Without this option the station sizes bandwidth with the paper's
+// Equation 1/2 (at most 43% above the information-theoretic minimum).
+func WithBandwidth(b int) Option {
+	return func(c *stationConfig) error {
+		if b < 0 {
+			return fmt.Errorf("pinbcast: negative bandwidth %d: %w", b, ErrBadSpec)
+		}
+		c.bandwidth = b
+		return nil
+	}
+}
+
+// WithSchedulers selects the schedulers the station tries, in order,
+// when constructing broadcast programs. Schedulers need not be
+// registered; every schedule is re-verified before use. Without this
+// option the station runs the paper's portfolio.
+func WithSchedulers(schedulers ...Scheduler) Option {
+	return func(c *stationConfig) error {
+		c.schedulers = append(c.schedulers, schedulers...)
+		return nil
+	}
+}
+
+// WithSchedulerNames selects registered schedulers by name, in order.
+func WithSchedulerNames(names ...string) Option {
+	return func(c *stationConfig) error {
+		for _, name := range names {
+			s, ok := LookupScheduler(name)
+			if !ok {
+				return fmt.Errorf("pinbcast: unknown scheduler %q (registered: %v): %w",
+					name, SchedulerNames(), ErrBadSpec)
+			}
+			c.schedulers = append(c.schedulers, s)
+		}
+		return nil
+	}
+}
+
+// WithDatabase derives file specifications from a real-time database in
+// the given operation mode: each item becomes a broadcast file with its
+// temporal-consistency constraint as latency and its mode-dependent
+// AIDA redundancy.
+func WithDatabase(db *RTDatabase, mode Mode) Option {
+	return func(c *stationConfig) error {
+		files, err := db.FileSpecs(mode)
+		if err != nil {
+			return err
+		}
+		c.files = append(c.files, files...)
+		return nil
+	}
+}
+
+// WithSlotInterval paces the Serve loop: one slot is emitted per
+// interval, matching a physical channel rate. Zero (the default) means
+// consumer-paced — the loop emits as fast as the receiver drains the
+// channel, which is what simulations want.
+func WithSlotInterval(d time.Duration) Option {
+	return func(c *stationConfig) error {
+		if d < 0 {
+			return fmt.Errorf("pinbcast: negative slot interval %v: %w", d, ErrBadSpec)
+		}
+		c.interval = d
+		return nil
+	}
+}
+
+// WithSlotBuffer sets the capacity of the slot channel Serve returns.
+// Zero (the default) makes delivery synchronous.
+func WithSlotBuffer(n int) Option {
+	return func(c *stationConfig) error {
+		if n < 0 {
+			return fmt.Errorf("pinbcast: negative slot buffer %d: %w", n, ErrBadSpec)
+		}
+		c.buffer = n
+		return nil
+	}
+}

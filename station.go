@@ -1,0 +1,337 @@
+package pinbcast
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"pinbcast/internal/core"
+	"pinbcast/internal/pinwheel"
+	"pinbcast/internal/rtdb"
+	"pinbcast/internal/server"
+)
+
+// Slot is one emission of the broadcast loop: slot T of the infinite
+// program carries one AIDA block of one file (or nothing, when the
+// program leaves the slot idle).
+type Slot struct {
+	// T is the absolute slot index since Serve started, across program
+	// generations.
+	T int
+	// Generation identifies the broadcast program the slot was emitted
+	// from; it increments each time an Admit or Evict takes effect at a
+	// data-cycle boundary.
+	Generation int
+	// File is the name of the file whose block occupies the slot, or ""
+	// for an idle slot.
+	File string
+	// Seq is the dispersed block sequence number within the file's AIDA
+	// rotation (meaningless for idle slots).
+	Seq int
+	// Block is the self-identifying block, nil for idle slots.
+	Block *Block
+	// Payload is the marshaled block as transmitted on the wire, nil
+	// for idle slots. It is the station's cached wire form, shared
+	// across emissions of the same block — copy before mutating.
+	Payload []byte
+}
+
+// Idle reports whether the slot carries no block.
+func (s Slot) Idle() bool { return s.Block == nil }
+
+// generation is one immutable build of the broadcast pipeline: a
+// program, its dispersed database, and the file set it was built from.
+type generation struct {
+	id      int
+	files   []FileSpec
+	program *Program
+	srv     *server.Server
+	cycle   int // program data cycle, the admission boundary
+}
+
+// Station is a long-lived broadcast-disk service: it owns schedule
+// construction (through a configurable scheduler chain), the dispersed
+// file database, and a context-aware streaming broadcast loop. Files
+// can be admitted and evicted online; changes take effect at the next
+// data-cycle boundary (§2.3) so that every in-flight guarantee of the
+// current program completes before the program changes.
+//
+// A Station is safe for concurrent use: Admit and Evict may be called
+// while Serve streams.
+type Station struct {
+	bandwidth  int
+	schedulers []Scheduler
+	interval   time.Duration
+	buffer     int
+
+	// buildMu serializes mutations (Admit, Evict); mu guards the
+	// generation pointers and the serving flag. Builds run outside mu
+	// so the serve loop never waits on a scheduler.
+	buildMu sync.Mutex
+	mu      sync.Mutex
+	gen     *generation
+	pending *generation
+	nextID  int
+	serving bool
+	// contents is the authoritative dispersal source, owned by the
+	// station; mutated only under buildMu.
+	contents map[string][]byte
+}
+
+// New constructs a Station from functional options. At least one file
+// with contents is required; bandwidth defaults to the Equation-1/2
+// sizing; the scheduler chain defaults to the paper's portfolio.
+//
+//	st, err := pinbcast.New(
+//		pinbcast.WithFile(pinbcast.FileSpec{Name: "traffic", Blocks: 4, Latency: 8, Faults: 1}, bulletin),
+//		pinbcast.WithFile(pinbcast.FileSpec{Name: "map", Blocks: 8, Latency: 40}, tiles),
+//	)
+func New(opts ...Option) (*Station, error) {
+	cfg := &stationConfig{contents: map[string][]byte{}}
+	for _, opt := range opts {
+		if err := opt(cfg); err != nil {
+			return nil, err
+		}
+	}
+	if err := core.ValidateAll(cfg.files); err != nil {
+		return nil, err
+	}
+	bw := cfg.bandwidth
+	if bw == 0 {
+		bw = core.SufficientBandwidth(cfg.files)
+	}
+	st := &Station{
+		bandwidth:  bw,
+		schedulers: cfg.schedulers,
+		interval:   cfg.interval,
+		buffer:     cfg.buffer,
+		contents:   cfg.contents,
+	}
+	gen, err := st.build(cfg.files)
+	if err != nil {
+		return nil, err
+	}
+	st.gen = gen
+	return st, nil
+}
+
+// build constructs a new program generation for the file set at the
+// station's bandwidth, using its scheduler chain. Caller must hold
+// buildMu (or be the constructor).
+func (st *Station) build(files []FileSpec) (*generation, error) {
+	prog, err := core.BuildProgramWith(files, st.bandwidth, func(sys pinwheel.System) (*pinwheel.Schedule, error) {
+		return solveChain(sys, st.schedulers)
+	})
+	if err != nil {
+		return nil, err
+	}
+	srv, err := server.New(prog, st.contents)
+	if err != nil {
+		return nil, err
+	}
+	st.nextID++
+	return &generation{
+		id:      st.nextID,
+		files:   files,
+		program: prog,
+		srv:     srv,
+		cycle:   prog.DataCycle(),
+	}, nil
+}
+
+// Program returns the broadcast program of the active generation.
+func (st *Station) Program() *Program {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.gen.program
+}
+
+// Bandwidth returns the channel bandwidth in blocks per time unit the
+// station was built at (fixed for the station's lifetime; admission
+// control preserves guarantees at this bandwidth).
+func (st *Station) Bandwidth() int { return st.bandwidth }
+
+// Generation returns the identifier of the active program generation.
+func (st *Station) Generation() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.gen.id
+}
+
+// Files returns the file specifications of the active generation.
+func (st *Station) Files() []FileSpec {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return append([]FileSpec(nil), st.gen.files...)
+}
+
+// Directory returns the mapping from stable broadcast file identifiers
+// to file names for the active generation — the metadata a client needs
+// to resolve requests against the self-identifying block stream.
+// Identifiers are name-derived, so they remain valid across program
+// generations.
+func (st *Station) Directory() map[uint32]string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.gen.srv.Names()
+}
+
+// Serve starts the broadcast loop and returns the slot stream. The
+// loop runs until ctx is cancelled, then closes the channel. Delivery
+// is consumer-paced unless WithSlotInterval was given. Only one Serve
+// loop may be active at a time; a second call returns ErrServing.
+//
+// Idle program slots are delivered as Slots with a nil Block so that
+// consumers observe real slot timing.
+func (st *Station) Serve(ctx context.Context) (<-chan Slot, error) {
+	st.mu.Lock()
+	if st.serving {
+		st.mu.Unlock()
+		return nil, ErrServing
+	}
+	st.serving = true
+	st.mu.Unlock()
+
+	out := make(chan Slot, st.buffer)
+	go st.serveLoop(ctx, out)
+	return out, nil
+}
+
+func (st *Station) serveLoop(ctx context.Context, out chan<- Slot) {
+	defer func() {
+		close(out)
+		st.mu.Lock()
+		st.serving = false
+		st.mu.Unlock()
+	}()
+	var tick *time.Ticker
+	if st.interval > 0 {
+		tick = time.NewTicker(st.interval)
+		defer tick.Stop()
+	}
+	localT := 0 // slot index within the active generation
+	for t := 0; ; t++ {
+		st.mu.Lock()
+		// Program changes take effect exactly at data-cycle boundaries:
+		// every window guarantee of the outgoing program is complete and
+		// the block rotation of the incoming program starts aligned.
+		if st.pending != nil && localT%st.gen.cycle == 0 {
+			st.gen = st.pending
+			st.pending = nil
+			localT = 0
+		}
+		gen := st.gen
+		st.mu.Unlock()
+
+		slot := Slot{T: t, Generation: gen.id}
+		if file, seq := gen.program.BlockAt(localT); file != core.Idle {
+			slot.File = gen.program.Files[file].Name
+			slot.Seq = seq
+			slot.Block = gen.srv.EmitBlock(localT)
+			slot.Payload = gen.srv.Emit(localT)
+		}
+		localT++
+
+		if tick != nil {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case out <- slot:
+		}
+	}
+}
+
+// Admit adds a file to the broadcast online. The candidate passes
+// density-based admission control at the station's bandwidth (§1's
+// admission-control discipline: it joins only if every already-admitted
+// guarantee is preserved), a new program generation is constructed, and
+// the swap happens at the next data-cycle boundary of the running
+// broadcast (immediately when the station is not serving). Rejections
+// wrap ErrAdmission; invalid candidates wrap ErrBadSpec.
+func (st *Station) Admit(f FileSpec, contents []byte) error {
+	st.buildMu.Lock()
+	defer st.buildMu.Unlock()
+	base := st.latest()
+	for _, existing := range base.files {
+		if existing.Name == f.Name {
+			return fmt.Errorf("pinbcast: file %q already broadcast: %w", f.Name, ErrBadSpec)
+		}
+	}
+	files, err := rtdb.Admit(base.files, f, st.bandwidth)
+	if err != nil {
+		return err
+	}
+	prior, had := st.contents[f.Name]
+	st.contents[f.Name] = contents
+	gen, err := st.build(files)
+	if err != nil {
+		if had {
+			st.contents[f.Name] = prior
+		} else {
+			delete(st.contents, f.Name)
+		}
+		return err
+	}
+	st.stage(gen)
+	return nil
+}
+
+// Evict removes a file from the broadcast at the next data-cycle
+// boundary, releasing its bandwidth share. Evicting an unknown file or
+// the last file wraps ErrBadSpec.
+func (st *Station) Evict(name string) error {
+	st.buildMu.Lock()
+	defer st.buildMu.Unlock()
+	base := st.latest()
+	files := make([]FileSpec, 0, len(base.files))
+	for _, f := range base.files {
+		if f.Name != name {
+			files = append(files, f)
+		}
+	}
+	switch {
+	case len(files) == len(base.files):
+		return fmt.Errorf("pinbcast: file %q not broadcast: %w", name, ErrBadSpec)
+	case len(files) == 0:
+		return fmt.Errorf("pinbcast: cannot evict the last file %q: %w", name, ErrBadSpec)
+	}
+	gen, err := st.build(files)
+	if err != nil {
+		return err
+	}
+	delete(st.contents, name)
+	st.stage(gen)
+	return nil
+}
+
+// latest returns the generation new mutations build on: the staged one
+// if a swap is pending, else the active one. Caller must hold buildMu.
+func (st *Station) latest() *generation {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.pending != nil {
+		return st.pending
+	}
+	return st.gen
+}
+
+// stage installs a built generation: immediately when idle, or as the
+// pending swap picked up by the serve loop at the next data-cycle
+// boundary. Caller must hold buildMu.
+func (st *Station) stage(gen *generation) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.serving {
+		st.pending = gen
+	} else {
+		st.gen = gen
+		st.pending = nil
+	}
+}

@@ -1,0 +1,292 @@
+package pinbcast
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"pinbcast/internal/channel"
+	"pinbcast/internal/client"
+)
+
+// lifecycleStation returns a small two-file station with headroom for
+// admissions (density 0.45 at bandwidth 1).
+func lifecycleStation(t *testing.T, opts ...Option) (*Station, map[string][]byte) {
+	t.Helper()
+	contents := map[string][]byte{
+		"A": []byte("file A: the hot real-time bulletin"),
+		"B": []byte("file B: the colder background map, three blocks long"),
+	}
+	base := []Option{
+		WithFiles(
+			FileSpec{Name: "A", Blocks: 2, Latency: 10, Faults: 1},
+			FileSpec{Name: "B", Blocks: 3, Latency: 20},
+		),
+		WithContents(contents),
+	}
+	st, err := New(append(base, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, contents
+}
+
+// retrieve feeds the slot stream into a reconstructing client under the
+// fault model until every request completes (or the stream ends), and
+// returns the results.
+func retrieve(t *testing.T, st *Station, slots <-chan Slot, fault FaultModel, names []string) []client.Result {
+	t.Helper()
+	reqs := make([]client.Request, len(names))
+	for i, name := range names {
+		reqs[i] = client.Request{File: name}
+	}
+	var c *client.Client
+	for slot := range slots {
+		if c == nil {
+			var err error
+			if c, err = client.New(slot.T, st.Directory(), reqs); err != nil {
+				t.Fatal(err)
+			}
+		}
+		raw := slot.Payload
+		if raw != nil && fault != nil && fault.Corrupts(slot.T) {
+			raw = append([]byte(nil), raw...)
+			raw[len(raw)/2] ^= 0x5a // garble so the checksum fails
+		}
+		c.Observe(slot.T, raw)
+		if c.Done() {
+			return c.Results()
+		}
+	}
+	t.Fatal("stream ended before retrieval completed")
+	return nil
+}
+
+// TestStationLifecycle is the end-to-end acceptance path: build →
+// Serve(ctx) streaming → client reconstruction under Bernoulli faults →
+// mid-run Admit at a data-cycle boundary → retrieval of the admitted
+// file → Evict.
+func TestStationLifecycle(t *testing.T) {
+	st, contents := lifecycleStation(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	slots, err := st.Serve(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: both initial files reconstruct despite 2% block loss.
+	for _, r := range retrieve(t, st, slots, channel.NewBernoulli(0.02, 7), []string{"A", "B"}) {
+		if !r.Completed || !bytes.Equal(r.Data, contents[r.File]) {
+			t.Fatalf("file %q not reconstructed intact (completed=%v)", r.File, r.Completed)
+		}
+	}
+
+	// Phase 2: admit a new file online; the swap must land exactly on a
+	// data-cycle boundary of the running generation.
+	cycle := st.Program().DataCycle()
+	if err := st.Admit(FileSpec{Name: "C", Blocks: 1, Latency: 10}, []byte("file C: admitted online")); err != nil {
+		t.Fatal(err)
+	}
+	swapT := -1
+	for slot := range slots {
+		if slot.Generation == 2 {
+			swapT = slot.T
+			break
+		}
+		if slot.T > 64*cycle {
+			t.Fatal("admission never took effect")
+		}
+	}
+	if st.Generation() != 2 {
+		t.Fatalf("generation = %d, want 2", st.Generation())
+	}
+	// The swap slot is the first slot of a new data cycle: all full
+	// cycles before it belong to generation 1, so its offset within the
+	// stream is a multiple of the generation-1 cycle length.
+	if swapT%cycle != 0 {
+		t.Fatalf("generation 2 started at slot %d, not on a %d-slot cycle boundary", swapT, cycle)
+	}
+	if len(st.Files()) != 3 {
+		t.Fatalf("station carries %d files, want 3", len(st.Files()))
+	}
+
+	// Phase 3: the admitted file is retrievable from the live stream.
+	for _, r := range retrieve(t, st, slots, channel.NewBernoulli(0.02, 11), []string{"C"}) {
+		if !r.Completed || !bytes.Equal(r.Data, []byte("file C: admitted online")) {
+			t.Fatalf("admitted file %q not reconstructed intact", r.File)
+		}
+	}
+
+	// Phase 4: evict the original hot file; the next generation must
+	// not carry it.
+	if err := st.Evict("A"); err != nil {
+		t.Fatal(err)
+	}
+	for slot := range slots {
+		if slot.Generation == 3 {
+			break
+		}
+	}
+	for _, f := range st.Files() {
+		if f.Name == "A" {
+			t.Fatal("evicted file still in the program")
+		}
+	}
+	for seen, want := 0, 2*st.Program().DataCycle(); seen < want; seen++ {
+		slot, ok := <-slots
+		if !ok {
+			t.Fatal("stream closed early")
+		}
+		if slot.File == "A" {
+			t.Fatal("evicted file still broadcast")
+		}
+	}
+
+	// Phase 5: cancellation closes the stream.
+	cancel()
+	for range slots {
+	}
+}
+
+func TestStationAdmitRejected(t *testing.T) {
+	st, _ := lifecycleStation(t)
+	gen := st.Generation()
+	err := st.Admit(FileSpec{Name: "flood", Blocks: 200, Latency: 10}, bytes.Repeat([]byte("x"), 200))
+	if !errors.Is(err, ErrAdmission) {
+		t.Fatalf("err = %v, want ErrAdmission", err)
+	}
+	if st.Generation() != gen {
+		t.Fatal("rejected admission changed the program")
+	}
+	if err := st.Admit(FileSpec{Name: "A", Blocks: 1, Latency: 10}, nil); !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("duplicate admission: err = %v, want ErrBadSpec", err)
+	}
+}
+
+func TestStationEvictErrors(t *testing.T) {
+	st, _ := lifecycleStation(t)
+	if err := st.Evict("nope"); !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("unknown eviction: err = %v, want ErrBadSpec", err)
+	}
+	if err := st.Evict("A"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Evict("B"); !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("last-file eviction: err = %v, want ErrBadSpec", err)
+	}
+}
+
+func TestStationAdmitWhileIdleAppliesImmediately(t *testing.T) {
+	st, _ := lifecycleStation(t)
+	if err := st.Admit(FileSpec{Name: "C", Blocks: 1, Latency: 10}, []byte("c")); err != nil {
+		t.Fatal(err)
+	}
+	if st.Generation() != 2 || len(st.Files()) != 3 {
+		t.Fatalf("idle admission not applied: generation %d, %d files", st.Generation(), len(st.Files()))
+	}
+}
+
+func TestStationServeSingleFlight(t *testing.T) {
+	st, _ := lifecycleStation(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	slots, err := st.Serve(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Serve(ctx); !errors.Is(err, ErrServing) {
+		t.Fatalf("second Serve: err = %v, want ErrServing", err)
+	}
+	cancel()
+	for range slots {
+	}
+	// After the loop drains, the station can serve again.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		slots2, err := st.Serve(ctx2)
+		if err == nil {
+			cancel2()
+			for range slots2 {
+			}
+			return
+		}
+		if !errors.Is(err, ErrServing) || time.Now().After(deadline) {
+			t.Fatalf("re-Serve: %v", err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestStationSlotInterval(t *testing.T) {
+	st, _ := lifecycleStation(t, WithSlotInterval(time.Millisecond))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	slots, err := st.Serve(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	for slot := range slots {
+		if slot.T == 9 {
+			break
+		}
+	}
+	if elapsed := time.Since(start); elapsed < 9*time.Millisecond {
+		t.Fatalf("10 slots in %v, want ≥ 9ms pacing", elapsed)
+	}
+}
+
+// TestStationSchedulerChain injects a custom broken scheduler and
+// checks that independent verification rejects its output and falls
+// through to the next chain member.
+func TestStationSchedulerChain(t *testing.T) {
+	broken := NewScheduler("broken", func(sys TaskSystem) (*Schedule, error) {
+		// An all-idle schedule satisfies nothing.
+		return &Schedule{Period: 4, Slots: []int{Idle, Idle, Idle, Idle}, Origin: "broken"}, nil
+	})
+	edf, _ := LookupScheduler(SchedulerEDF)
+	st, _ := lifecycleStation(t, WithSchedulers(broken, edf))
+	if origin := st.Program().Origin; origin != "pinwheel/EDF" {
+		t.Fatalf("program origin = %q, want the EDF fallback", origin)
+	}
+}
+
+func TestWithSchedulerNamesUnknown(t *testing.T) {
+	_, err := New(
+		WithFile(FileSpec{Name: "A", Blocks: 1, Latency: 2}, []byte("a")),
+		WithSchedulerNames("no-such-scheduler"),
+	)
+	if !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("err = %v, want ErrBadSpec", err)
+	}
+}
+
+func TestSchedulerRegistry(t *testing.T) {
+	for _, name := range []string{SchedulerSa, SchedulerSx, SchedulerTwoDistinct, SchedulerEDF, SchedulerExact, SchedulerPortfolio} {
+		s, ok := LookupScheduler(name)
+		if !ok || s.Name() != name {
+			t.Fatalf("built-in scheduler %q not registered", name)
+		}
+	}
+	if err := RegisterScheduler(NewScheduler(SchedulerEDF, nil)); !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("duplicate registration: err = %v, want ErrBadSpec", err)
+	}
+	if err := RegisterScheduler(NewScheduler("", nil)); !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("unnamed registration: err = %v, want ErrBadSpec", err)
+	}
+	sys := TaskSystem{{A: 1, B: 2}, {A: 1, B: 4}}
+	for _, name := range SchedulerNames() {
+		s, _ := LookupScheduler(name)
+		sch, err := s.Schedule(sys)
+		if err != nil {
+			continue // not every specialization handles every system
+		}
+		if err := sch.Verify(sys); err != nil {
+			t.Fatalf("scheduler %q emitted an invalid schedule: %v", name, err)
+		}
+	}
+}
