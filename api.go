@@ -1,9 +1,11 @@
 package pinbcast
 
 import (
+	"math/rand"
 	"time"
 
 	"pinbcast/internal/algebra"
+	"pinbcast/internal/cache"
 	"pinbcast/internal/channel"
 	"pinbcast/internal/client"
 	"pinbcast/internal/core"
@@ -185,9 +187,40 @@ type (
 	ClientSpec = sim.ClientSpec
 	// Request asks a client to retrieve one file by a deadline.
 	Request = client.Request
+	// Result records the outcome of one request: completion, latency,
+	// deadline verdict, reconstructed data.
+	Result = client.Result
 	// FaultModel injects channel errors.
 	FaultModel = channel.FaultModel
 )
+
+// Client cache management (internal/cache): replacement policies for a
+// Receiver's reconstructed-file cache (WithCache), after Acharya,
+// Franklin & Zdonik's broadcast-disk cache study cited in §1.
+type (
+	// CachePolicy chooses replacement victims for a receiver cache.
+	CachePolicy = cache.Policy
+)
+
+// LRUPolicy returns a least-recently-used replacement policy.
+func LRUPolicy() CachePolicy { return cache.NewLRU() }
+
+// LFUPolicy returns a least-frequently-used replacement policy.
+func LFUPolicy() CachePolicy { return cache.NewLFU() }
+
+// PIXPolicy returns Acharya et al.'s P-inverse-X policy: evict the item
+// with the lowest ratio of access probability to broadcast frequency —
+// an item broadcast often is cheap to lose even when popular. Get the
+// frequency map from BroadcastFrequencies.
+func PIXPolicy(frequency map[string]float64) CachePolicy { return cache.NewPIX(frequency) }
+
+// RandomPolicy returns the random-replacement baseline, drawing victims
+// from the injected generator (nil for a fixed default seed).
+func RandomPolicy(rng *rand.Rand) CachePolicy { return cache.NewRandom(rng) }
+
+// BroadcastFrequencies returns each file's slots per period in the
+// program — the x of the PIX policy.
+func BroadcastFrequencies(p *Program) map[string]float64 { return cache.BroadcastFrequencies(p) }
 
 // Simulate runs an end-to-end broadcast simulation.
 func Simulate(cfg SimConfig) (*SimReport, error) { return sim.Run(cfg) }

@@ -240,6 +240,99 @@ func BenchmarkStationServe(b *testing.B) {
 	}
 }
 
+// loopSource replays a recorded slot stream forever — the unbounded
+// source the receiver throughput benchmarks drain.
+type loopSource struct {
+	slots []Slot
+	i     int
+}
+
+func (s *loopSource) Next() (Slot, error) {
+	slot := s.slots[s.i%len(s.slots)]
+	s.i++
+	return slot, nil
+}
+
+func (s *loopSource) Close() error { return nil }
+
+// benchRecording captures a few data cycles of the standard two-file
+// station for replay-driven receiver benchmarks.
+func benchRecording(b *testing.B) (*Station, *Recording) {
+	b.Helper()
+	files := []core.FileSpec{
+		{Name: "A", Blocks: 4, Latency: 8, Faults: 1},
+		{Name: "B", Blocks: 8, Latency: 40},
+	}
+	st, err := New(
+		WithFiles(files...),
+		WithContents(workload.Contents(files, 256, 5)),
+		WithSlotBuffer(256),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	slots, err := st.Serve(ctx)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec, err := Record(SlotSource(slots), 4*st.Program().DataCycle())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cancel()
+	for range slots {
+	}
+	return st, rec
+}
+
+// BenchmarkReceiverSlots measures the receiver protocol loop: slots
+// consumed per second while a request is pending (every slot decoded
+// and classified, none completing). Tracked by CI in
+// BENCH_receiver.json.
+func BenchmarkReceiverSlots(b *testing.B) {
+	st, rec := benchRecording(b)
+	src := &loopSource{slots: rec.slots}
+	r, err := Subscribe(src,
+		WithDirectory(st.Directory()),
+		WithRequest("missing", 0), // never broadcast: the loop never completes
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReceiverReconstruct measures full retrievals per second:
+// subscribe to a replay, collect the hot file's dispersed blocks,
+// reconstruct with IDA.
+func BenchmarkReceiverReconstruct(b *testing.B) {
+	st, rec := benchRecording(b)
+	dir := st.Directory()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := Subscribe(rec.Source(), WithDirectory(dir), WithRequest("A", 0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		results, err := r.Run(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(results) != 1 || !results[0].Completed {
+			b.Fatal("reconstruction failed")
+		}
+	}
+}
+
 // BenchmarkStationBuild measures full service construction: admission
 // of the file set, portfolio scheduling, AIDA dispersal.
 func BenchmarkStationBuild(b *testing.B) {

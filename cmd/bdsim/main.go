@@ -2,20 +2,27 @@
 // broadcast disk: it builds a program for a synthetic workload, streams
 // it through a lossy channel to a population of clients, and reports
 // latency and deadline statistics. With -stream it instead starts a
-// live Station and prints the streamed broadcast slots.
+// live Station and prints the streamed broadcast slots; with -fanout
+// it runs the real networked pipeline — Station → TCP fan-out →
+// -clients live Receivers — and reports per-client deadline and
+// latency statistics.
 //
 // Usage:
 //
 //	bdsim [-files 8] [-clients 25] [-loss 0.05] [-burst] [-faults 1] [-seed 1]
 //	bdsim -stream 64 [-files 4]
+//	bdsim -fanout [-clients 8] [-files 4] [-loss 0.05]
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"sort"
+	"sync"
+	"time"
 
 	"pinbcast"
 	"pinbcast/internal/workload"
@@ -29,12 +36,16 @@ func main() {
 	faults := flag.Int("faults", 1, "designed per-retrieval fault tolerance r")
 	seed := flag.Int64("seed", 1, "random seed")
 	stream := flag.Int("stream", 0, "serve this many live Station slots instead of simulating")
+	fanout := flag.Bool("fanout", false, "run -clients live Receivers over a TCP fan-out instead of simulating")
 	flag.Parse()
 
 	var err error
-	if *stream > 0 {
+	switch {
+	case *stream > 0:
 		err = runStream(*nFiles, *faults, *seed, *stream)
-	} else {
+	case *fanout:
+		err = runFanout(*nFiles, *nClients, *loss, *faults, *seed)
+	default:
 		err = run(*nFiles, *nClients, *loss, *burst, *faults, *seed)
 	}
 	if err != nil {
@@ -101,6 +112,137 @@ func run(nFiles, nClients int, loss float64, burst bool, faults int, seed int64)
 			st.MeanLatency, st.MaxLatency)
 	}
 	fmt.Printf("overall deadline miss ratio: %.2f%%\n", 100*rep.MissRatio())
+	return nil
+}
+
+// runFanout runs the full networked pipeline on the loopback
+// interface: a Station broadcasts through a TCP Fanout to nClients
+// live Receivers, each with its own Bernoulli reception-fault stream,
+// and per-client deadline-met ratios and reconstruction latencies are
+// reported.
+func runFanout(nFiles, nClients int, loss float64, faults int, seed int64) error {
+	if nClients < 1 {
+		return fmt.Errorf("need at least one client, got %d", nClients)
+	}
+	files := workload.Random(nFiles, 6, 10, 80, 0, seed)
+	for i := range files {
+		files[i].Faults = faults
+	}
+	st, err := pinbcast.New(
+		pinbcast.WithFiles(files...),
+		pinbcast.WithContents(workload.Contents(files, 128, seed)),
+		pinbcast.WithSlotBuffer(256),
+	)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	fan := pinbcast.NewFanout(ln, 0)
+	defer fan.Close()
+	fmt.Printf("fanout: %s — %d receivers, bandwidth %d blocks/unit, loss %.2f%%\n",
+		fan.Addr(), nClients, st.Bandwidth(), 100*loss)
+
+	// Each receiver subscribes over TCP and wants two files, with
+	// deadlines of two latency windows (one window plus one cycle of
+	// fault recovery).
+	dir := st.Directory()
+	receivers := make([]*pinbcast.Receiver, nClients)
+	wanted := make([][]pinbcast.Request, nClients)
+	for c := range receivers {
+		src, err := pinbcast.DialSource(fan.Addr().String())
+		if err != nil {
+			return err
+		}
+		src.Timeout = 30 * time.Second
+		f1 := files[c%len(files)]
+		f2 := files[(c+1+c/len(files))%len(files)]
+		reqs := []pinbcast.Request{{File: f1.Name, Deadline: 2 * st.Bandwidth() * f1.Latency}}
+		if f2.Name != f1.Name {
+			reqs = append(reqs, pinbcast.Request{File: f2.Name, Deadline: 2 * st.Bandwidth() * f2.Latency})
+		}
+		wanted[c] = reqs
+		receivers[c], err = pinbcast.Subscribe(src,
+			pinbcast.WithDirectory(dir),
+			pinbcast.WithRequests(reqs...),
+			pinbcast.WithReceiverFaults(pinbcast.BernoulliFaults(loss, seed+int64(c))),
+		)
+		if err != nil {
+			return err
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for fan.ClientCount() < nClients {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("only %d of %d receivers subscribed", fan.ClientCount(), nClients)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go st.Broadcast(ctx, fan)
+
+	results := make([][]pinbcast.Result, nClients)
+	metrics := make([]pinbcast.ReceiverMetrics, nClients)
+	errs := make([]error, nClients)
+	var wg sync.WaitGroup
+	for c, r := range receivers {
+		wg.Add(1)
+		go func(c int, r *pinbcast.Receiver) {
+			defer wg.Done()
+			results[c], errs[c] = r.Run(context.Background())
+			metrics[c] = r.Metrics()
+			// Stay tuned until the broadcast winds down so the fan-out
+			// never drops a finished-but-healthy subscriber while others
+			// are still retrieving — Evicted then counts real laggards.
+			go func() {
+				defer r.Close()
+				for {
+					if _, err := r.Step(); err != nil {
+						return
+					}
+				}
+			}()
+		}(c, r)
+	}
+	wg.Wait()
+	cancel()
+
+	fmt.Printf("%-8s %-24s %10s %12s %10s\n", "client", "files", "met", "mean lat.", "slots")
+	totalMet, totalReqs := 0, 0
+	for c := range receivers {
+		if errs[c] != nil {
+			return fmt.Errorf("client %d: %w", c, errs[c])
+		}
+		met, lat, n := 0, 0, 0
+		names := ""
+		for _, res := range results[c] {
+			if names != "" {
+				names += ","
+			}
+			names += res.File
+			if res.Completed {
+				lat += res.Latency
+				n++
+			}
+			if res.DeadlineMet {
+				met++
+			}
+		}
+		totalMet += met
+		totalReqs += len(results[c])
+		mean := 0.0
+		if n > 0 {
+			mean = float64(lat) / float64(n)
+		}
+		fmt.Printf("%-8d %-24s %6d/%-3d %12.1f %10d\n",
+			c, names, met, len(results[c]), mean, metrics[c].Slots)
+	}
+	fmt.Printf("per-client deadline-met ratio: %.2f%% (%d/%d requests); fan-out evictions: %d\n",
+		100*float64(totalMet)/float64(totalReqs), totalMet, totalReqs, fan.Evicted())
 	return nil
 }
 

@@ -13,3 +13,9 @@ func TestRunBurstModel(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRunFanout(t *testing.T) {
+	if err := runFanout(3, 4, 0.02, 1, 7); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -49,6 +49,47 @@
 // RegisterScheduler. Every schedule is re-verified against its task
 // system before a program is built from it.
 //
+// # The Receiver
+//
+// The client half of the pair is the Receiver, built with the same
+// functional-options style. It subscribes to any Source of slots,
+// learns the broadcast directory, collects self-identifying AIDA
+// blocks for its requests, reconstructs each file from any M distinct
+// blocks, and tracks per-request deadlines:
+//
+//	receiver, err := pinbcast.Subscribe(src,
+//		pinbcast.WithDirectory(station.Directory()),
+//		pinbcast.WithRequest("traffic", deadline),
+//		pinbcast.WithReceiverFaults(pinbcast.BernoulliFaults(0.02, 1)),
+//		pinbcast.WithCache(pinbcast.PIXPolicy(freqs), 64),
+//	)
+//	results, err := receiver.Run(ctx) // collect until every request completes
+//
+// Reception faults are injected with the same fault models the
+// simulator uses; reconstructed files can be cached under pluggable
+// replacement policies (PIXPolicy, LRUPolicy, LFUPolicy, RandomPolicy
+// — the Acharya–Franklin–Zdonik cache-management axis §1 cites); and a
+// receiver given the broadcast schedule (WithSchedule) dozes through
+// irrelevant slots, splitting access latency from tuning time as in
+// Imielinski et al.'s (1, m) air indexing, which NewTuner analyzes
+// directly.
+//
+// # Transports
+//
+// Station and Receiver meet over a symmetric transport seam: a Station
+// stream feeds any Sink, a Receiver drains any Source. Three transports
+// ship with the package:
+//
+//   - in-process: SlotSource(station.Serve(ctx)) — zero-copy channel
+//   - framed TCP: NewFanout(ln, 0) on the air side (per-subscriber
+//     send queues; a stalled subscriber is evicted and never delays
+//     the others), DialSource(addr) on the tuner side
+//   - recorded: Recording captures any stream (it is itself a Sink)
+//     and replays it any number of times via Recording.Source
+//
+// One Receiver runs unchanged against all three. Pump glues a served
+// stream to a sink; Station.Broadcast is Serve+Pump in one call.
+//
 // All failures wrap the package's typed errors — ErrBadSpec,
 // ErrInfeasible, ErrBandwidth, ErrAdmission — so callers classify them
 // with errors.Is regardless of the originating layer.
@@ -66,7 +107,10 @@
 //	internal/core      broadcast program construction
 //	internal/server    broadcast server
 //	internal/channel   fault-injecting channel models
-//	internal/client    reconstructing client
+//	internal/client    reconstructing client protocol
+//	internal/cache     client cache policies (PIX, LRU, LFU, random)
+//	internal/airindex  (1, m) indexing on air
+//	internal/transport framed TCP fan-out
 //	internal/sim       end-to-end simulation
 //	internal/rtdb      real-time database layer
 //	internal/workload  scenario generators

@@ -1,36 +1,30 @@
-// Network: broadcasts a fault-tolerant real-time program over real TCP
-// connections (internal/transport) to two concurrently listening
-// clients, who reconstruct their files from the framed block stream —
-// the full system running end to end on the loopback interface.
+// Network: the full public pipeline on the loopback interface — a
+// Station broadcasts its fault-tolerant real-time program through a
+// TCP Fanout to two concurrently subscribed Receivers, each of which
+// reconstructs its file from the framed self-identifying block stream
+// while suffering independent reception faults.
 package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"net"
 	"time"
 
 	"pinbcast"
-	"pinbcast/internal/client"
-	"pinbcast/internal/server"
-	"pinbcast/internal/transport"
 )
 
 func main() {
-	files := []pinbcast.FileSpec{
-		{Name: "alerts", Blocks: 2, Latency: 6, Faults: 1},
-		{Name: "charts", Blocks: 6, Latency: 30},
-	}
-	program, err := pinbcast.Build(pinbcast.BuildConfig{Files: files})
-	if err != nil {
-		log.Fatal(err)
-	}
 	contents := map[string][]byte{
 		"alerts": []byte("storm cell moving northeast, 40 kt"),
 		"charts": bytes.Repeat([]byte("chart-tile "), 24),
 	}
-	srv, err := server.New(program, contents)
+	station, err := pinbcast.New(
+		pinbcast.WithFile(pinbcast.FileSpec{Name: "alerts", Blocks: 2, Latency: 6, Faults: 1}, contents["alerts"]),
+		pinbcast.WithFile(pinbcast.FileSpec{Name: "charts", Blocks: 6, Latency: 30}, contents["charts"]),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -39,45 +33,54 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	b := transport.NewBroadcaster(ln, srv)
-	defer b.Close()
+	fan := pinbcast.NewFanout(ln, 0)
+	defer fan.Close()
+	prog := station.Program()
 	fmt.Printf("broadcasting on %s (period %d slots, bandwidth %d blocks/unit)\n",
-		b.Addr(), program.Period, program.Bandwidth)
+		fan.Addr(), prog.Period, station.Bandwidth())
 
+	// Two receivers tune in over TCP. The wire carries only the paper's
+	// self-identifying blocks, so each receiver gets the directory out
+	// of band.
 	done := make(chan string, 2)
 	for i, want := range []string{"alerts", "charts"} {
 		go func(id int, file string) {
-			recv, err := transport.Dial(b.Addr().String())
+			src, err := pinbcast.DialSource(fan.Addr().String())
 			if err != nil {
 				log.Fatal(err)
 			}
-			defer recv.Close()
-			c, err := client.New(0, srv.Names(),
-				[]client.Request{{File: file}})
+			src.Timeout = 5 * time.Second
+			rcv, err := pinbcast.Subscribe(src,
+				pinbcast.WithDirectory(station.Directory()),
+				pinbcast.WithRequest(file, 0),
+				pinbcast.WithReceiverFaults(pinbcast.BernoulliFaults(0.05, int64(id+1))),
+			)
 			if err != nil {
 				log.Fatal(err)
 			}
-			for !c.Done() {
-				slot, payload, err := recv.Next(5 * time.Second)
-				if err != nil {
-					log.Fatalf("client %d: %v", id, err)
-				}
-				c.Observe(slot, payload)
+			defer rcv.Close()
+			results, err := rcv.Run(context.Background())
+			if err != nil {
+				log.Fatalf("receiver %d: %v", id, err)
 			}
-			r := c.Results()[0]
-			if !bytes.Equal(r.Data, contents[file]) {
-				log.Fatalf("client %d: %q corrupted in transit", id, file)
+			r := results[0]
+			if !r.Completed || !bytes.Equal(r.Data, contents[file]) {
+				log.Fatalf("receiver %d: %q corrupted in transit", id, file)
 			}
-			done <- fmt.Sprintf("client %d got %q intact after %d slots", id, file, r.Latency)
+			m := rcv.Metrics()
+			done <- fmt.Sprintf("receiver %d got %q intact after %d slots (%d blocks seen, %d corrupted)",
+				id, file, r.Latency, m.Blocks, m.Corrupted)
 		}(i, want)
 	}
 
-	// Wait for both subscriptions, then start the slot clock.
-	for b.ClientCount() < 2 {
+	// Wait for both subscriptions, then put the station on the air.
+	for fan.ClientCount() < 2 {
 		time.Sleep(5 * time.Millisecond)
 	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	go func() {
-		if err := b.Run(4*program.DataCycle(), time.Millisecond); err != nil {
+		if err := station.Broadcast(ctx, fan); err != nil {
 			log.Print(err)
 		}
 	}()

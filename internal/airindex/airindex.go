@@ -42,8 +42,16 @@ type Program struct {
 	IndexLen int // slots per index copy
 	Period   int
 	Slots    []Slot
-	// indexStarts are the slots at which index copies begin.
-	indexStarts []int
+	// indexStarts are the slots at which index copies begin;
+	// isIndexStart is the membership set Query's hot path probes.
+	indexStarts  []int
+	isIndexStart map[int]bool
+}
+
+// IndexStarts returns the slots (within one indexed period) at which
+// index copies begin — what a doze-mode client wakes for first.
+func (p *Program) IndexStarts() []int {
+	return append([]int(nil), p.indexStarts...)
 }
 
 // EntriesPerSlot is how many directory entries fit in one index slot;
@@ -91,6 +99,10 @@ func Build(base *core.Program, copies int) (*Program, error) {
 		}
 	}
 	p.Period = len(p.Slots)
+	p.isIndexStart = make(map[int]bool, len(p.indexStarts))
+	for _, s := range p.indexStarts {
+		p.isIndexStart[s] = true
+	}
 	return p, nil
 }
 
@@ -106,11 +118,8 @@ func (p *Program) At(t int) Slot { return p.Slots[t%p.Period] }
 // nextIndex returns the first slot ≥ t at which an index copy begins.
 func (p *Program) nextIndex(t int) int {
 	for dt := 0; dt <= p.Period; dt++ {
-		pos := (t + dt) % p.Period
-		for _, s := range p.indexStarts {
-			if pos == s {
-				return t + dt
-			}
+		if p.isIndexStart[(t+dt)%p.Period] {
+			return t + dt
 		}
 	}
 	panic("airindex: no index copy found in a full period")

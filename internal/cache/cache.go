@@ -218,9 +218,16 @@ type Random struct {
 	index map[string]int
 }
 
-// NewRandom returns a random-replacement policy.
-func NewRandom(seed int64) *Random {
-	return &Random{rng: rand.New(rand.NewSource(seed)), index: make(map[string]int)}
+// NewRandom returns a random-replacement policy drawing victims from
+// the injected generator. Each policy owns its stream — nothing touches
+// the global math/rand state — so concurrent simulations are race-free
+// and a fixed-seed rng reproduces its eviction sequence exactly. A nil
+// rng defaults to a deterministic seed-1 stream.
+func NewRandom(rng *rand.Rand) *Random {
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	return &Random{rng: rng, index: make(map[string]int)}
 }
 
 // Name returns "random".

@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"math/rand"
 	"testing"
 
 	"pinbcast/internal/core"
@@ -80,7 +81,7 @@ func TestPIXPrefersKeepingRareItems(t *testing.T) {
 }
 
 func TestRandomPolicyEvictsCachedKey(t *testing.T) {
-	c, _ := New(3, NewRandom(1))
+	c, _ := New(3, NewRandom(rand.New(rand.NewSource(1))))
 	for _, k := range []string{"a", "b", "c"} {
 		c.Put(k)
 	}
@@ -153,7 +154,7 @@ func TestSimulateAccessPoliciesCompared(t *testing.T) {
 	// Sanity: with an aligned ranking the two are close; no assertion
 	// beyond successful runs.
 	if _, err := SimulateAccess(AccessConfig{
-		Program: prog, Capacity: 2, Policy: NewRandom(3),
+		Program: prog, Capacity: 2, Policy: NewRandom(rand.New(rand.NewSource(3))),
 		Queries: 1000, ZipfS: 1.7, Seed: 4,
 	}); err != nil {
 		t.Fatal(err)

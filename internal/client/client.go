@@ -14,25 +14,49 @@ import (
 // Request asks for one file with a relative deadline.
 type Request struct {
 	File     string
-	Deadline int // slots after the client starts listening; 0 = none
+	Deadline int // slots after the request becomes active; 0 = none
 }
 
 // Result records the outcome of one request.
 type Result struct {
 	File        string
 	Completed   bool
-	Latency     int // slots from start to reconstruction (valid if Completed)
+	Latency     int // slots from request activation to reconstruction (valid if Completed)
 	Deadline    int
 	DeadlineMet bool
 	Data        []byte
 	BlocksUsed  int
 	Corrupted   int // corrupted receptions observed for this file
+	// FromCache marks a request served instantly from a client-side
+	// cache of previously reconstructed files (the receiver layer sets
+	// it; the core protocol never does).
+	FromCache bool
 }
 
+// Outcome classifies what one observed slot did for the client.
+type Outcome int8
+
+// Observe outcomes.
+const (
+	// Idle: the slot carried no block.
+	Idle Outcome = iota
+	// Corrupt: the payload failed its checksum and was dropped.
+	Corrupt
+	// Unknown: a valid block of a file absent from the directory.
+	Unknown
+	// Ignored: a valid block of a file with no pending request (or a
+	// duplicate sequence number already held).
+	Ignored
+	// Stored: a new distinct block of a pending file was retained.
+	Stored
+	// Completed: the block completed a reconstruction.
+	Completed
+)
+
 // Client collects blocks for a set of requests. The zero value is not
-// usable; construct with New.
+// usable; construct with New or NewSubscriber.
 type Client struct {
-	start    int
+	start    int // first observed slot; -1 until the client hears the channel
 	now      int
 	pending  map[string]*pendingFile
 	results  []Result
@@ -41,6 +65,7 @@ type Client struct {
 
 type pendingFile struct {
 	req       Request
+	from      int // slot the deadline clock starts at; -1 = first observed slot
 	blocks    map[uint16]*ida.Block
 	corrupted int
 	done      bool
@@ -54,26 +79,98 @@ func New(start int, names map[uint32]string, reqs []Request) (*Client, error) {
 	if len(reqs) == 0 {
 		return nil, fmt.Errorf("client: no requests")
 	}
-	c := &Client{
-		start:    start,
-		now:      start,
-		pending:  make(map[string]*pendingFile, len(reqs)),
-		fileName: names,
-	}
+	c := NewSubscriber(names)
+	c.start = start
+	c.now = start - 1 // nothing observed yet: requests activate at start
 	for _, r := range reqs {
-		if r.File == "" {
-			return nil, fmt.Errorf("client: request without a file name")
+		if err := c.Add(r); err != nil {
+			return nil, err
 		}
-		if _, dup := c.pending[r.File]; dup {
-			return nil, fmt.Errorf("client: duplicate request for %q", r.File)
-		}
-		c.pending[r.File] = &pendingFile{req: r, blocks: make(map[uint16]*ida.Block)}
 	}
 	return c, nil
 }
 
-// Start returns the slot at which the client began listening.
+// NewSubscriber returns a client with no initial requests: it fixes its
+// start at the first slot it observes ("tuning in"), learns directory
+// entries with Learn, and accepts requests over time with Add. This is
+// the constructor the public Receiver builds on.
+func NewSubscriber(names map[uint32]string) *Client {
+	c := &Client{
+		start:    -1,
+		now:      -1,
+		pending:  make(map[string]*pendingFile),
+		fileName: make(map[uint32]string, len(names)),
+	}
+	for id, name := range names {
+		c.fileName[id] = name
+	}
+	return c
+}
+
+// Add registers one more request. Its deadline clock starts at the next
+// slot the client observes (or at the client's start, if it has not
+// begun listening yet). Adding a request for a file that is still
+// pending is an error; re-requesting a completed file starts a fresh
+// retrieval.
+func (c *Client) Add(r Request) error {
+	if r.File == "" {
+		return fmt.Errorf("client: request without a file name")
+	}
+	if p, dup := c.pending[r.File]; dup && !p.done {
+		return fmt.Errorf("client: duplicate request for %q", r.File)
+	}
+	from := c.start
+	if c.start >= 0 && c.now >= c.start {
+		from = c.now + 1 // already listening: the clock starts next slot
+	}
+	c.pending[r.File] = &pendingFile{req: r, from: from, blocks: make(map[uint16]*ida.Block)}
+	return nil
+}
+
+// Learn adds one directory entry mapping a broadcast file identifier to
+// a name (e.g. gleaned from an air index or an in-process slot stream).
+func (c *Client) Learn(id uint32, name string) { c.fileName[id] = name }
+
+// Directory returns a copy of the client's current id→name directory.
+func (c *Client) Directory() map[uint32]string {
+	out := make(map[uint32]string, len(c.fileName))
+	for id, name := range c.fileName {
+		out[id] = name
+	}
+	return out
+}
+
+// Start returns the slot at which the client began listening (-1 if it
+// has not observed any slot yet).
 func (c *Client) Start() int { return c.start }
+
+// IsPending reports whether the named file has an uncompleted request.
+func (c *Client) IsPending(name string) bool {
+	p, ok := c.pending[name]
+	return ok && !p.done
+}
+
+// PendingCount returns the number of uncompleted requests.
+func (c *Client) PendingCount() int {
+	n := 0
+	for _, p := range c.pending {
+		if !p.done {
+			n++
+		}
+	}
+	return n
+}
+
+// Pending returns the names of files with uncompleted requests.
+func (c *Client) Pending() []string {
+	var out []string
+	for name, p := range c.pending {
+		if !p.done {
+			out = append(out, name)
+		}
+	}
+	return out
+}
 
 // Done reports whether every request has been completed.
 func (c *Client) Done() bool {
@@ -90,34 +187,49 @@ func (c *Client) Done() bool {
 // block. Corrupted blocks are detected by checksum and counted against
 // the file they would have served when identifiable, or dropped
 // silently otherwise — exactly the "wait for the next useful block"
-// behaviour of §2.3.
-func (c *Client) Observe(t int, raw []byte) {
+// behaviour of §2.3. The returned Outcome classifies what the slot did
+// for the client; callers that only care about completion may ignore it.
+func (c *Client) Observe(t int, raw []byte) Outcome {
+	if c.start < 0 {
+		c.start = t
+		c.now = t
+		for _, p := range c.pending {
+			if p.from < 0 {
+				p.from = t
+			}
+		}
+	}
 	if t < c.start {
-		return
+		return Ignored
 	}
 	c.now = t
 	if raw == nil {
-		return
+		return Idle
 	}
 	blk, err := ida.Unmarshal(raw)
 	if err != nil {
 		// The block is unreadable; we cannot even tell whose it was.
 		// Charge it to every still-pending file's corruption count is
 		// wrong; charge nobody, as the paper's client simply waits.
-		return
+		return Corrupt
 	}
 	name, ok := c.fileName[blk.FileID]
 	if !ok {
-		return
+		return Unknown
 	}
 	p, wanted := c.pending[name]
 	if !wanted || p.done {
-		return
+		return Ignored
+	}
+	if _, dup := p.blocks[blk.Seq]; dup {
+		return Ignored
 	}
 	p.blocks[blk.Seq] = blk
 	if len(p.blocks) >= int(blk.M) {
 		c.finish(name, p)
+		return Completed
 	}
+	return Stored
 }
 
 // finish reconstructs the file and records the result.
@@ -127,7 +239,7 @@ func (c *Client) finish(name string, p *pendingFile) {
 		blocks = append(blocks, b)
 	}
 	data, err := ida.ReconstructFile(blocks)
-	latency := c.now - c.start + 1
+	latency := c.now - p.from + 1
 	res := Result{
 		File:       name,
 		Deadline:   p.req.Deadline,
@@ -158,6 +270,10 @@ func (c *Client) NoteCorruption(name string) {
 // the end of a simulation are reported by Flush.
 func (c *Client) Results() []Result { return c.results }
 
+// AddResult appends an externally produced result (the receiver layer
+// records cache hits through it).
+func (c *Client) AddResult(r Result) { c.results = append(c.results, r) }
+
 // Flush closes out incomplete requests as failures at the given final
 // slot and returns all results.
 func (c *Client) Flush(final int) []Result {
@@ -165,11 +281,15 @@ func (c *Client) Flush(final int) []Result {
 		if p.done {
 			continue
 		}
+		from := p.from
+		if from < 0 {
+			from = final // never heard a slot: zero listening time
+		}
 		c.results = append(c.results, Result{
 			File:      name,
 			Completed: false,
 			Deadline:  p.req.Deadline,
-			Latency:   final - c.start + 1,
+			Latency:   final - from + 1,
 			Corrupted: p.corrupted,
 		})
 		p.done = true

@@ -159,6 +159,78 @@ func TestFlushIncomplete(t *testing.T) {
 	}
 }
 
+func TestSubscriberDynamicRequests(t *testing.T) {
+	fa := disperse(t, 1, []byte("file F, two blocks"), 2, 4)
+	ga := disperse(t, 2, []byte("file G"), 1, 2)
+	c := NewSubscriber(nil)
+	if c.Start() != -1 {
+		t.Fatalf("start = %d before tuning in", c.Start())
+	}
+	if !c.Done() {
+		t.Fatal("no requests yet should report done")
+	}
+	// Directory learned entry by entry, request added before tune-in.
+	c.Learn(1, "F")
+	if err := c.Add(Request{File: "F", Deadline: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(Request{File: "F"}); err == nil {
+		t.Fatal("duplicate pending request accepted")
+	}
+	// Tune in at slot 7: the deadline clock starts here.
+	if got := c.Observe(7, fa[0].Marshal()); got != Stored {
+		t.Fatalf("outcome = %v, want Stored", got)
+	}
+	if c.Start() != 7 {
+		t.Fatalf("start = %d, want 7", c.Start())
+	}
+	if got := c.Observe(8, nil); got != Idle {
+		t.Fatalf("outcome = %v, want Idle", got)
+	}
+	if got := c.Observe(9, fa[0].Marshal()); got != Ignored {
+		t.Fatalf("duplicate block outcome = %v, want Ignored", got)
+	}
+	if got := c.Observe(10, ga[0].Marshal()); got != Unknown {
+		t.Fatalf("undirected block outcome = %v, want Unknown", got)
+	}
+	bad := fa[1].Marshal()
+	bad[len(bad)-1] ^= 0xff
+	if got := c.Observe(11, bad); got != Corrupt {
+		t.Fatalf("garbled block outcome = %v, want Corrupt", got)
+	}
+	if got := c.Observe(11, fa[2].Marshal()); got != Completed {
+		t.Fatalf("outcome = %v, want Completed", got)
+	}
+	r := c.Results()[0]
+	if !r.Completed || r.Latency != 5 || !r.DeadlineMet {
+		t.Fatalf("result %+v, want completion at latency 5 within deadline", r)
+	}
+
+	// A request added mid-stream measures from its own activation slot.
+	c.Learn(2, "G")
+	if err := c.Add(Request{File: "G", Deadline: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if c.PendingCount() != 1 || !c.IsPending("G") {
+		t.Fatalf("pending = %v", c.Pending())
+	}
+	if got := c.Observe(13, ga[1].Marshal()); got != Completed {
+		t.Fatalf("outcome = %v, want Completed", got)
+	}
+	r = c.Results()[1]
+	if r.Latency != 2 || !r.DeadlineMet {
+		t.Fatalf("mid-stream request latency = %d (met=%v), want 2 within 3", r.Latency, r.DeadlineMet)
+	}
+
+	// Re-requesting a completed file starts a fresh retrieval.
+	if err := c.Add(Request{File: "G"}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Done() {
+		t.Fatal("re-request should reopen the file")
+	}
+}
+
 func TestMultipleRequests(t *testing.T) {
 	fa := disperse(t, 1, []byte("file F"), 1, 2)
 	ga := disperse(t, 2, []byte("file G"), 1, 2)

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"fmt"
+	"math/rand"
 
 	"pinbcast/internal/airindex"
 	"pinbcast/internal/cache"
@@ -43,7 +44,7 @@ func CachePolicies(queries int, seed int64) (*Table, error) {
 		cache.NewLRU(),
 		cache.NewLFU(),
 		cache.NewPIX(freqs),
-		cache.NewRandom(seed),
+		cache.NewRandom(rand.New(rand.NewSource(seed))),
 	}
 	for _, p := range policies {
 		rep, err := cache.SimulateAccess(cache.AccessConfig{

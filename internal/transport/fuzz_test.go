@@ -1,0 +1,50 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzReadFrame hammers the frame decoder with arbitrary byte strings:
+// truncated headers, truncated payloads, corrupt and oversized declared
+// lengths. The decoder must never panic or over-allocate; any frame it
+// does accept must round-trip through WriteFrame bit-identically.
+func FuzzReadFrame(f *testing.F) {
+	// A well-formed data frame and a well-formed idle frame.
+	var seed bytes.Buffer
+	WriteFrame(&seed, 7, []byte("self-identifying block"))
+	f.Add(append([]byte(nil), seed.Bytes()...))
+	seed.Reset()
+	WriteFrame(&seed, 9, nil)
+	f.Add(append([]byte(nil), seed.Bytes()...))
+	// Truncated header, truncated payload, oversized declared length.
+	f.Add([]byte{0, 0, 0})
+	f.Add([]byte{0, 0, 0, 1, 0, 0, 0, 4, 'a', 'b'})
+	var over [frameHeaderSize]byte
+	binary.BigEndian.PutUint32(over[4:], MaxFramePayload+1)
+	f.Add(over[:])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		slot, payload, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input: only invariant is "no panic"
+		}
+		if len(payload) > MaxFramePayload {
+			t.Fatalf("accepted %d-byte payload beyond MaxFramePayload", len(payload))
+		}
+		if len(data) < frameHeaderSize+len(payload) {
+			t.Fatalf("decoded %d payload bytes from %d input bytes", len(payload), len(data))
+		}
+		if want := binary.BigEndian.Uint32(data[4:]); int(want) != len(payload) {
+			t.Fatalf("payload length %d != declared %d", len(payload), want)
+		}
+		var out bytes.Buffer
+		if err := WriteFrame(&out, slot, payload); err != nil {
+			t.Fatalf("re-encoding accepted frame: %v", err)
+		}
+		if !bytes.Equal(out.Bytes(), data[:frameHeaderSize+len(payload)]) {
+			t.Fatalf("round-trip mismatch:\n in  %x\n out %x", data[:frameHeaderSize+len(payload)], out.Bytes())
+		}
+	})
+}

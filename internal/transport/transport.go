@@ -34,6 +34,9 @@ const frameHeaderSize = 8
 // guarding against corrupt headers.
 const MaxFramePayload = 1 << 20
 
+// ErrClosed reports a Send on a closed fan-out.
+var ErrClosed = errors.New("transport: fanout closed")
+
 // WriteFrame writes one slot frame to w.
 func WriteFrame(w io.Writer, slot int, payload []byte) error {
 	if len(payload) > MaxFramePayload {
@@ -75,61 +78,233 @@ func ReadFrame(r io.Reader) (slot int, payload []byte, err error) {
 	return slot, payload, nil
 }
 
+// Fanout multiplexes an externally supplied slot stream to every
+// connected client. It is the push half of the transport seam: callers
+// feed it frames with Send. Each subscriber has its own bounded frame
+// queue drained by its own writer goroutine, so delivery to one client
+// never waits on another; a subscriber whose queue stays full (or
+// whose writes error or exceed the write timeout) is evicted rather
+// than allowed to stall the broadcast.
+type Fanout struct {
+	ln      net.Listener
+	timeout time.Duration
+
+	mu      sync.Mutex
+	subs    map[*subscriber]bool
+	evicted int
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// frame is one queued slot transmission.
+type frame struct {
+	slot    int
+	payload []byte
+}
+
+// subscriber is one connected client: its connection, its bounded
+// frame queue, and its shutdown latch.
+type subscriber struct {
+	conn net.Conn
+	ch   chan frame
+	done chan struct{}
+	once sync.Once
+}
+
+// stop closes the subscriber exactly once; its writer exits via done.
+func (s *subscriber) stop() {
+	s.once.Do(func() {
+		close(s.done)
+		s.conn.Close()
+	})
+}
+
+// DefaultWriteTimeout is the slow-client eviction threshold used when a
+// fan-out is constructed with a zero timeout.
+const DefaultWriteTimeout = time.Second
+
+// queueDepth is each subscriber's frame buffer: how far one client may
+// fall behind the broadcast before the producer starts waiting on it
+// (and, after the write timeout, evicts it).
+const queueDepth = 256
+
+// NewFanout starts accepting subscribers on ln. writeTimeout is the
+// slow-client threshold (zero selects DefaultWriteTimeout).
+func NewFanout(ln net.Listener, writeTimeout time.Duration) *Fanout {
+	if writeTimeout <= 0 {
+		writeTimeout = DefaultWriteTimeout
+	}
+	f := &Fanout{
+		ln:      ln,
+		timeout: writeTimeout,
+		subs:    make(map[*subscriber]bool),
+	}
+	f.wg.Add(1)
+	go f.acceptLoop()
+	return f
+}
+
+// Addr returns the listening address.
+func (f *Fanout) Addr() net.Addr { return f.ln.Addr() }
+
+func (f *Fanout) acceptLoop() {
+	defer f.wg.Done()
+	for {
+		conn, err := f.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s := &subscriber{
+			conn: conn,
+			ch:   make(chan frame, queueDepth),
+			done: make(chan struct{}),
+		}
+		f.mu.Lock()
+		if f.closed {
+			f.mu.Unlock()
+			conn.Close()
+			return
+		}
+		f.subs[s] = true
+		f.wg.Add(1)
+		go f.writeLoop(s)
+		f.mu.Unlock()
+	}
+}
+
+// writeLoop drains one subscriber's queue onto its connection.
+func (f *Fanout) writeLoop(s *subscriber) {
+	defer f.wg.Done()
+	for {
+		select {
+		case <-s.done:
+			return
+		case fr := <-s.ch:
+			s.conn.SetWriteDeadline(time.Now().Add(f.timeout))
+			if err := WriteFrame(s.conn, fr.slot, fr.payload); err != nil {
+				f.drop(s)
+				return
+			}
+		}
+	}
+}
+
+// drop evicts a subscriber (idempotent).
+func (f *Fanout) drop(s *subscriber) {
+	f.mu.Lock()
+	if f.subs[s] {
+		delete(f.subs, s)
+		f.evicted++
+	}
+	f.mu.Unlock()
+	s.stop()
+}
+
+// ClientCount returns the number of connected clients.
+func (f *Fanout) ClientCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.subs)
+}
+
+// Evicted returns how many clients have been dropped — for falling
+// behind, erroring, or going away — since the fan-out started.
+func (f *Fanout) Evicted() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.evicted
+}
+
+// Send queues one slot frame for every connected client. A client
+// whose queue has headroom costs one non-blocking enqueue; a client
+// whose queue is full makes the producer wait up to the write timeout
+// for space before evicting it — bounded backpressure for a client
+// that is merely behind, eviction for one that has stalled. Other
+// clients' deliveries proceed independently throughout. Sending to
+// zero clients succeeds (the broadcast medium does not care who
+// listens); the only error is ErrClosed.
+func (f *Fanout) Send(slot int, payload []byte) error {
+	fr := frame{slot: slot, payload: payload}
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return ErrClosed
+	}
+	var full []*subscriber
+	for s := range f.subs {
+		select {
+		case s.ch <- fr:
+		default:
+			full = append(full, s)
+		}
+	}
+	f.mu.Unlock()
+	if len(full) == 0 {
+		return nil
+	}
+	// One write-timeout budget covers all laggards: each gets until the
+	// timer fires to free queue space; after that, space-or-eviction.
+	timer := time.NewTimer(f.timeout)
+	defer timer.Stop()
+	expired := false
+	for _, s := range full {
+		if expired {
+			select {
+			case s.ch <- fr:
+			case <-s.done: // writer already dropped it
+			default:
+				f.drop(s)
+			}
+			continue
+		}
+		select {
+		case s.ch <- fr:
+		case <-s.done:
+		case <-timer.C:
+			expired = true
+			f.drop(s)
+		}
+	}
+	return nil
+}
+
+// Close stops accepting, disconnects every client and waits for the
+// accept and writer loops.
+func (f *Fanout) Close() error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil
+	}
+	f.closed = true
+	for s := range f.subs {
+		s.stop()
+		delete(f.subs, s)
+	}
+	f.mu.Unlock()
+	err := f.ln.Close()
+	f.wg.Wait()
+	return err
+}
+
 // Broadcaster pushes a broadcast server's block stream to every
-// connected client.
+// connected client: a Fanout wired to a server-driven slot clock.
 type Broadcaster struct {
 	src *server.Server
-	ln  net.Listener
-
-	mu    sync.Mutex
-	conns map[net.Conn]bool
-	done  chan struct{}
-	wg    sync.WaitGroup
+	f   *Fanout
 }
 
 // NewBroadcaster starts accepting clients on ln. Call Run to start the
 // slot clock and Close to shut everything down.
 func NewBroadcaster(ln net.Listener, src *server.Server) *Broadcaster {
-	b := &Broadcaster{
-		src:   src,
-		ln:    ln,
-		conns: make(map[net.Conn]bool),
-		done:  make(chan struct{}),
-	}
-	b.wg.Add(1)
-	go b.acceptLoop()
-	return b
+	return &Broadcaster{src: src, f: NewFanout(ln, DefaultWriteTimeout)}
 }
 
 // Addr returns the listening address.
-func (b *Broadcaster) Addr() net.Addr { return b.ln.Addr() }
-
-func (b *Broadcaster) acceptLoop() {
-	defer b.wg.Done()
-	for {
-		conn, err := b.ln.Accept()
-		if err != nil {
-			return // listener closed
-		}
-		b.mu.Lock()
-		select {
-		case <-b.done:
-			b.mu.Unlock()
-			conn.Close()
-			return
-		default:
-		}
-		b.conns[conn] = true
-		b.mu.Unlock()
-	}
-}
+func (b *Broadcaster) Addr() net.Addr { return b.f.Addr() }
 
 // ClientCount returns the number of connected clients.
-func (b *Broadcaster) ClientCount() int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return len(b.conns)
-}
+func (b *Broadcaster) ClientCount() int { return b.f.ClientCount() }
 
 // Run broadcasts `slots` consecutive slots, pacing them `interval`
 // apart (zero for as fast as possible). Clients whose connections
@@ -144,21 +319,9 @@ func (b *Broadcaster) Run(slots int, interval time.Duration) error {
 		defer tick.Stop()
 	}
 	for t := 0; t < slots; t++ {
-		select {
-		case <-b.done:
+		if err := b.f.Send(t, b.src.Emit(t)); err != nil {
 			return errors.New("transport: broadcaster closed")
-		default:
 		}
-		payload := b.src.Emit(t)
-		b.mu.Lock()
-		for conn := range b.conns {
-			conn.SetWriteDeadline(time.Now().Add(time.Second))
-			if err := WriteFrame(conn, t, payload); err != nil {
-				conn.Close()
-				delete(b.conns, conn)
-			}
-		}
-		b.mu.Unlock()
 		if tick != nil {
 			<-tick.C
 		}
@@ -168,22 +331,7 @@ func (b *Broadcaster) Run(slots int, interval time.Duration) error {
 
 // Close stops accepting, disconnects every client and waits for the
 // accept loop.
-func (b *Broadcaster) Close() error {
-	b.mu.Lock()
-	select {
-	case <-b.done:
-	default:
-		close(b.done)
-	}
-	for conn := range b.conns {
-		conn.Close()
-		delete(b.conns, conn)
-	}
-	b.mu.Unlock()
-	err := b.ln.Close()
-	b.wg.Wait()
-	return err
-}
+func (b *Broadcaster) Close() error { return b.f.Close() }
 
 // Receiver consumes a broadcast stream from a connection.
 type Receiver struct {

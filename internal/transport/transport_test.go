@@ -189,6 +189,63 @@ func TestCloseUnblocksEverything(t *testing.T) {
 	}
 }
 
+func TestFanoutSlowClientEvicted(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewFanout(ln, 50*time.Millisecond)
+	defer f.Close()
+
+	// A subscriber that connects and then never reads: once the kernel
+	// buffers fill, writes to it must trip the deadline and evict it.
+	conn, err := net.Dial("tcp", f.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for f.ClientCount() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("subscriber never accepted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// More frames than the per-subscriber queue holds: once the queue
+	// and kernel buffers fill, either the producer's bounded wait or
+	// the writer's deadline must evict the stalled client.
+	payload := make([]byte, 512<<10)
+	for i := 0; i < 2048 && f.Evicted() == 0; i++ {
+		if err := f.Send(i, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	evictBy := time.Now().Add(5 * time.Second)
+	for f.Evicted() == 0 {
+		if time.Now().After(evictBy) {
+			t.Fatal("stalled client never evicted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if f.Evicted() != 1 {
+		t.Fatalf("evicted = %d, want 1", f.Evicted())
+	}
+	if f.ClientCount() != 0 {
+		t.Fatalf("client count = %d after eviction", f.ClientCount())
+	}
+	// The broadcast itself is unaffected by having nobody to talk to.
+	if err := f.Send(999, []byte("still on air")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Send(1000, nil); err != ErrClosed {
+		t.Fatalf("send after close: err = %v, want ErrClosed", err)
+	}
+}
+
 func waitClients(t *testing.T, b *Broadcaster, n int) {
 	t.Helper()
 	deadline := time.Now().Add(2 * time.Second)

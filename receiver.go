@@ -1,0 +1,405 @@
+package pinbcast
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"pinbcast/internal/cache"
+	"pinbcast/internal/client"
+)
+
+// Receiver is the client half of the broadcast-disk pair — the
+// counterpart of Station. It subscribes to a slot stream through any
+// Source, learns the broadcast directory, collects self-identifying
+// AIDA blocks for its pending requests, reconstructs each file as soon
+// as any M distinct blocks have arrived (so up to r lost transmissions
+// per window are tolerated, §2.3), and tracks per-request deadlines.
+// Reception faults can be injected (WithReceiverFaults), reconstructed
+// files can be cached under a pluggable replacement policy (WithCache,
+// per Acharya–Franklin–Zdonik), and a receiver that knows the broadcast
+// schedule (WithSchedule, as if learned from a (1, m) air index) dozes
+// through irrelevant slots, separating access latency from tuning time.
+//
+// A Receiver is single-goroutine: Run, Step and Request must not be
+// called concurrently.
+type Receiver struct {
+	src   Source
+	cli   *client.Client
+	fault FaultModel
+
+	cache *cache.Cache
+	store map[string][]byte // reconstructed bytes of cached files
+
+	schedule *Program
+	// scheduleGen is the generation the schedule was observed under;
+	// a swap in the stream disables dozing (the alignment is lost).
+	scheduleGen int
+
+	lastT int
+	m     ReceiverMetrics
+}
+
+// ReceiverMetrics counts what a receiver has seen and done. Slots vs
+// Listened is the access-latency/tuning-time split of Imielinski et
+// al.'s air indexing: a schedule-aware receiver dozes through slots
+// that cannot serve it, so Listened — the energy cost — stays far
+// below Slots while latency is unchanged.
+type ReceiverMetrics struct {
+	// Slots is the number of slots consumed from the source.
+	Slots int
+	// Listened counts slots the receiver actively listened to while
+	// requests were pending (its tuning time).
+	Listened int
+	// Dozed counts slots skipped thanks to schedule knowledge.
+	Dozed int
+	// Blocks counts valid self-identifying blocks decoded.
+	Blocks int
+	// Corrupted counts blocks dropped for checksum failure.
+	Corrupted int
+	// Injected counts corruptions introduced by the receiver's own
+	// fault model (a subset of Corrupted).
+	Injected int
+	// Unknown counts valid blocks of files absent from the directory.
+	Unknown int
+	// CacheHits and CacheMisses count requests served from the
+	// reconstructed-file cache versus sent to the air.
+	CacheHits   int
+	CacheMisses int
+	// Reconstructions counts files rebuilt from dispersed blocks.
+	Reconstructions int
+}
+
+// TuningRatio returns Listened/Slots — the fraction of consumed slots
+// the receiver actually had to listen to (1.0 without schedule
+// knowledge).
+func (m ReceiverMetrics) TuningRatio() float64 {
+	if m.Slots == 0 {
+		return 0
+	}
+	return float64(m.Listened) / float64(m.Slots)
+}
+
+// receiverConfig collects the options a Receiver is built from.
+type receiverConfig struct {
+	names    map[uint32]string
+	requests []Request
+	fault    FaultModel
+	policy   CachePolicy
+	capacity int
+	schedule *Program
+}
+
+// ReceiverOption configures a Receiver under construction.
+type ReceiverOption func(*receiverConfig) error
+
+// WithDirectory supplies the id→name broadcast directory. Over the
+// in-process transport the receiver also learns entries from the
+// stream itself; over TCP (where the wire carries only the paper's
+// self-identifying blocks) the directory is how requests by name are
+// resolved. Merged over any entries already configured.
+func WithDirectory(names map[uint32]string) ReceiverOption {
+	return func(c *receiverConfig) error {
+		for id, name := range names {
+			c.names[id] = name
+		}
+		return nil
+	}
+}
+
+// WithRequests registers files to retrieve, with per-request relative
+// deadlines in slots (0 = none). Deadline clocks start at the first
+// slot the receiver observes.
+func WithRequests(reqs ...Request) ReceiverOption {
+	return func(c *receiverConfig) error {
+		c.requests = append(c.requests, reqs...)
+		return nil
+	}
+}
+
+// WithRequest registers one file to retrieve by the given relative
+// deadline in slots (0 = none).
+func WithRequest(file string, deadline int) ReceiverOption {
+	return WithRequests(Request{File: file, Deadline: deadline})
+}
+
+// WithReceiverFaults injects a reception fault model: slots the model
+// corrupts reach the protocol as garbled blocks, which the checksum
+// rejects — the client then simply waits for the next useful block
+// (§2.3). Use BernoulliFaults, BurstFaults, SlotFaults or NoFaults.
+func WithReceiverFaults(fm FaultModel) ReceiverOption {
+	return func(c *receiverConfig) error {
+		c.fault = fm
+		return nil
+	}
+}
+
+// WithCache keeps reconstructed files in a bounded client cache under
+// the given replacement policy (PIXPolicy, LRUPolicy, LFUPolicy,
+// RandomPolicy): a repeated Request for a cached file completes
+// instantly instead of waiting on the air. This is the client
+// cache-management axis of Acharya, Franklin & Zdonik that §1 of the
+// paper cites.
+func WithCache(policy CachePolicy, capacity int) ReceiverOption {
+	return func(c *receiverConfig) error {
+		if policy == nil {
+			return fmt.Errorf("pinbcast: nil cache policy: %w", ErrBadSpec)
+		}
+		if capacity < 1 {
+			return fmt.Errorf("pinbcast: cache capacity %d < 1: %w", capacity, ErrBadSpec)
+		}
+		c.policy = policy
+		c.capacity = capacity
+		return nil
+	}
+}
+
+// WithSchedule gives the receiver the broadcast program, as a client
+// that has read a (1, m) air index would know it. A schedule-aware
+// receiver dozes through slots that carry nothing it is waiting for:
+// access latency is unchanged, tuning time (Metrics().Listened) drops
+// to the slots that matter — the energy tradeoff of Imielinski,
+// Viswanathan & Badrinath's indexing on air. The schedule must be the
+// one the station actually serves; if the stream carries a generation
+// swap (an online Admit/Evict re-aligned the program), the receiver
+// falls back to continuous listening, as a real client would until it
+// re-reads the index. Use NewTuner to analyze the index overhead
+// itself.
+func WithSchedule(prog *Program) ReceiverOption {
+	return func(c *receiverConfig) error {
+		if prog == nil {
+			return fmt.Errorf("pinbcast: nil schedule: %w", ErrBadSpec)
+		}
+		c.schedule = prog
+		return nil
+	}
+}
+
+// Subscribe tunes a new Receiver into a broadcast source at whatever
+// slot the stream is on — the paper's client may arrive at an
+// arbitrary point of the broadcast and still meets its latency window.
+// Requests can be registered up front (WithRequests) or over time
+// (Receiver.Request); Run drives the protocol until they complete.
+func Subscribe(src Source, opts ...ReceiverOption) (*Receiver, error) {
+	if src == nil {
+		return nil, fmt.Errorf("pinbcast: nil source: %w", ErrBadSpec)
+	}
+	cfg := &receiverConfig{names: map[uint32]string{}}
+	for _, opt := range opts {
+		if err := opt(cfg); err != nil {
+			return nil, err
+		}
+	}
+	r := &Receiver{
+		src:   src,
+		cli:   client.NewSubscriber(cfg.names),
+		fault: cfg.fault,
+		lastT: -1,
+	}
+	if cfg.policy != nil {
+		c, err := cache.New(cfg.capacity, cfg.policy)
+		if err != nil {
+			return nil, fmt.Errorf("pinbcast: %w: %v", ErrBadSpec, err)
+		}
+		r.cache = c
+		r.store = make(map[string][]byte, cfg.capacity)
+	}
+	r.schedule = cfg.schedule
+	for _, req := range cfg.requests {
+		if err := r.Request(req.File, req.Deadline); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// Request asks for one file with a relative deadline in slots (0 =
+// none). If the file sits in the receiver's cache the request completes
+// instantly (Latency 0, FromCache set); otherwise its deadline clock
+// starts at the next observed slot and Run/Step collect it from the
+// air. Requesting a file that is already pending wraps ErrBadSpec.
+func (r *Receiver) Request(file string, deadline int) error {
+	if file == "" {
+		return fmt.Errorf("pinbcast: request without a file name: %w", ErrBadSpec)
+	}
+	if r.cli.IsPending(file) {
+		return fmt.Errorf("pinbcast: file %q already requested: %w", file, ErrBadSpec)
+	}
+	if r.cache != nil {
+		if data, ok := r.store[file]; ok {
+			r.cache.Get(file) // policy sees the hit
+			r.m.CacheHits++
+			r.cli.AddResult(client.Result{
+				File:        file,
+				Completed:   true,
+				Deadline:    deadline,
+				DeadlineMet: true,
+				Data:        data,
+				FromCache:   true,
+			})
+			return nil
+		}
+		r.m.CacheMisses++
+	}
+	if err := r.cli.Add(client.Request{File: file, Deadline: deadline}); err != nil {
+		return fmt.Errorf("pinbcast: %w: %v", ErrBadSpec, err)
+	}
+	return nil
+}
+
+// Step consumes one slot from the source and advances the protocol. It
+// reports whether every request has completed. The stream end
+// propagates as io.EOF (flush pending requests with Results afterwards
+// via Close or inspect them with Pending).
+func (r *Receiver) Step() (done bool, err error) {
+	slot, err := r.src.Next()
+	if err != nil {
+		return r.cli.Done(), err
+	}
+	r.m.Slots++
+	r.lastT = slot.T
+
+	// The in-process transport carries file names alongside blocks;
+	// learn the directory for free (over TCP only the self-identifying
+	// block travels, and the directory comes from WithDirectory).
+	if slot.File != "" && slot.Block != nil {
+		r.cli.Learn(slot.Block.FileID, slot.File)
+	}
+
+	// A generation swap re-aligns the station's program to a fresh
+	// origin the receiver cannot see, so a stale schedule would doze on
+	// exactly the wrong slots. Fall back to continuous listening — the
+	// protocol stays correct, only the energy saving is lost (a real
+	// client would re-read the air index). Only the in-process
+	// transport carries generation marks; over TCP, WithSchedule
+	// assumes a single-generation broadcast.
+	if r.schedule != nil && slot.Generation != 0 {
+		if r.scheduleGen == 0 {
+			r.scheduleGen = slot.Generation
+		} else if slot.Generation != r.scheduleGen {
+			r.schedule = nil
+		}
+	}
+
+	// The fault process is a property of the channel, not of what the
+	// receiver does with it: stateful models (Gilbert–Elliott bursts)
+	// advance once per transmitted block, exactly as internal/sim
+	// drives them, whether or not this receiver is listening.
+	corrupted := len(slot.Payload) > 0 && r.fault != nil && r.fault.Corrupts(slot.T)
+
+	pending := r.cli.PendingCount()
+	if pending == 0 {
+		// Nothing requested: the radio idles but the tune-in clock
+		// keeps ticking, so a later Request measures latency from its
+		// own activation slot, not from a stale one.
+		r.cli.Observe(slot.T, nil)
+		return true, nil
+	}
+
+	// Doze: with schedule knowledge the receiver wakes only for slots
+	// that can serve a pending request.
+	if r.schedule != nil {
+		if f := r.schedule.FileAt(slot.T); f == Idle || !r.cli.IsPending(r.schedule.Files[f].Name) {
+			r.m.Dozed++
+			// The latency clock keeps ticking while the radio sleeps —
+			// dozing saves tuning time, never access time.
+			r.cli.Observe(slot.T, nil)
+			return false, nil
+		}
+	}
+	r.m.Listened++
+
+	payload := slot.Payload
+	if corrupted {
+		payload = append([]byte(nil), payload...)
+		payload[len(payload)/2] ^= 0x5a // garble so the checksum fails
+		r.m.Injected++
+	}
+
+	switch r.cli.Observe(slot.T, payload) {
+	case client.Corrupt:
+		r.m.Corrupted++
+	case client.Unknown:
+		r.m.Unknown++
+		r.m.Blocks++
+	case client.Ignored, client.Stored:
+		if payload != nil {
+			r.m.Blocks++
+		}
+	case client.Completed:
+		r.m.Blocks++
+		r.m.Reconstructions++
+		r.cacheCompleted()
+	}
+	return r.cli.Done(), nil
+}
+
+// cacheCompleted inserts the just-reconstructed file into the cache.
+func (r *Receiver) cacheCompleted() {
+	if r.cache == nil {
+		return
+	}
+	results := r.cli.Results()
+	res := results[len(results)-1]
+	if !res.Completed {
+		return
+	}
+	r.store[res.File] = res.Data
+	if evicted := r.cache.Put(res.File); evicted != "" {
+		delete(r.store, evicted)
+	}
+}
+
+// Run consumes the source until every request has completed, the
+// context is cancelled, or the stream ends, and returns the results so
+// far. Pending requests are flushed as failures when the stream ends
+// or the context is cancelled; a receiver left running can accept
+// further Request calls and be Run again.
+//
+// Cancellation is observed between slots: a Source whose Next blocks
+// indefinitely (a TCPSource with zero Timeout on a silent connection)
+// holds Run with it. Give the source a timeout — the resulting error
+// returns from Run — when the broadcast may stall.
+func (r *Receiver) Run(ctx context.Context) ([]Result, error) {
+	for {
+		select {
+		case <-ctx.Done():
+			return r.cli.Flush(r.lastT), ctx.Err()
+		default:
+		}
+		done, err := r.Step()
+		if err == io.EOF {
+			return r.cli.Flush(r.lastT), nil
+		}
+		if err != nil {
+			return r.cli.Results(), err
+		}
+		if done {
+			return r.cli.Results(), nil
+		}
+	}
+}
+
+// Results returns the outcomes recorded so far (completed requests,
+// cache hits, and flushed failures).
+func (r *Receiver) Results() []Result { return r.cli.Results() }
+
+// Pending returns the names of files still being collected.
+func (r *Receiver) Pending() []string { return r.cli.Pending() }
+
+// Done reports whether every request has completed.
+func (r *Receiver) Done() bool { return r.cli.Done() }
+
+// Start returns the slot at which the receiver tuned in (-1 before the
+// first observed slot).
+func (r *Receiver) Start() int { return r.cli.Start() }
+
+// Directory returns the receiver's current id→name directory —
+// supplied entries merged with anything learned from the stream.
+func (r *Receiver) Directory() map[uint32]string { return r.cli.Directory() }
+
+// Metrics returns a snapshot of the receiver's counters.
+func (r *Receiver) Metrics() ReceiverMetrics { return r.m }
+
+// Close releases the underlying source.
+func (r *Receiver) Close() error { return r.src.Close() }

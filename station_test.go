@@ -151,6 +151,121 @@ func TestStationLifecycle(t *testing.T) {
 	}
 }
 
+// TestStationAdmitEvictStress hammers a streaming station with
+// concurrent Admit/Evict (plus concurrent metadata reads) and asserts
+// the §2.3 swap discipline from the outside: every program generation
+// must broadcast a positive whole number of its own data cycles before
+// the next generation takes over. Run under -race this also proves the
+// Station's locking: mutators, readers and the serve loop share it
+// concurrently.
+func TestStationAdmitEvictStress(t *testing.T) {
+	st, _ := lifecycleStation(t, WithSlotBuffer(64))
+	bw := st.Bandwidth()
+	spec := FileSpec{Name: "C", Blocks: 1, Latency: 10}
+
+	// The station alternates strictly between the two-file and
+	// three-file sets, so odd generations carry {A,B} and even ones
+	// {A,B,C}. Build both programs offline (same default scheduler
+	// chain, same bandwidth) to learn their data-cycle lengths.
+	without, err := Build(BuildConfig{Files: st.Files(), Bandwidth: bw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	with, err := Build(BuildConfig{Files: append(st.Files(), spec), Bandwidth: bw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycleOf := func(generation int) int {
+		if generation%2 == 1 {
+			return without.DataCycle()
+		}
+		return with.DataCycle()
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	slots, err := st.Serve(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Mutator: 40 admit/evict rounds while the stream runs.
+	mutDone := make(chan error, 1)
+	go func() {
+		for i := 0; i < 40; i++ {
+			if err := st.Admit(spec, []byte("file C: in and out")); err != nil {
+				mutDone <- err
+				return
+			}
+			time.Sleep(200 * time.Microsecond)
+			if err := st.Evict(spec.Name); err != nil {
+				mutDone <- err
+				return
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+		mutDone <- nil
+	}()
+	// Reader: metadata accessors race against mutations and the loop.
+	readerCtx, readerCancel := context.WithCancel(context.Background())
+	defer readerCancel()
+	go func() {
+		for readerCtx.Err() == nil {
+			_ = st.Generation()
+			_ = st.Program().DataCycle()
+			_ = st.Directory()
+			_ = st.Files()
+		}
+	}()
+
+	gen, inGen, swaps := 0, 0, 0
+	mutErr := error(nil)
+	for done := false; !done; {
+		select {
+		case mutErr = <-mutDone:
+			done = true
+		case slot, ok := <-slots:
+			if !ok {
+				t.Fatal("stream closed early")
+			}
+			if gen == 0 {
+				gen = slot.Generation
+			}
+			if slot.Generation != gen {
+				if slot.Generation < gen {
+					t.Fatalf("generation went backwards: %d after %d", slot.Generation, gen)
+				}
+				if cyc := cycleOf(gen); inGen == 0 || inGen%cyc != 0 {
+					t.Fatalf("generation %d swapped out after %d slots, not a positive multiple of its %d-slot data cycle",
+						gen, inGen, cyc)
+				}
+				swaps++
+				gen, inGen = slot.Generation, 0
+			}
+			inGen++
+		}
+	}
+	if mutErr != nil {
+		t.Fatal(mutErr)
+	}
+	// Drain any staged swap still in flight, then stop.
+	for swaps == 0 {
+		slot, ok := <-slots
+		if !ok {
+			t.Fatal("stream closed before any swap landed")
+		}
+		if slot.Generation != gen {
+			swaps++
+		}
+	}
+	cancel()
+	for range slots {
+	}
+	if st.Generation() < 2 {
+		t.Fatalf("no mutation took effect (generation %d)", st.Generation())
+	}
+}
+
 func TestStationAdmitRejected(t *testing.T) {
 	st, _ := lifecycleStation(t)
 	gen := st.Generation()
