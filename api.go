@@ -54,15 +54,24 @@ type BuildConfig struct {
 	// sizes it with Equation 1/2.
 	Bandwidth int
 	// Schedulers is the ordered scheduler chain to try; nil runs the
-	// paper's portfolio.
+	// paper's portfolio. Only the pinwheel construction consults it.
 	Schedulers []Scheduler
+	// Layout selects the construction strategy (see the Layout
+	// registry). Nil — or the registered "pinwheel" layout — runs the
+	// paper's fault-tolerant real-time construction, composed with the
+	// Schedulers chain; any other layout owns construction entirely.
+	Layout Layout
 }
 
-// Build constructs a fault-tolerant real-time broadcast program. All
-// failures wrap the package's typed errors: ErrBadSpec for invalid
-// files, ErrBandwidth when the bandwidth cannot carry the file set,
-// ErrInfeasible when scheduling is provably impossible.
+// Build constructs a broadcast program under the configured layout
+// strategy (the paper's fault-tolerant real-time construction by
+// default). All failures wrap the package's typed errors: ErrBadSpec
+// for invalid files, ErrBandwidth when the bandwidth cannot carry the
+// file set, ErrInfeasible when scheduling is provably impossible.
 func Build(cfg BuildConfig) (*Program, error) {
+	if !isBuiltinPinwheel(cfg.Layout) {
+		return cfg.Layout.Plan(cfg.Files, cfg.Bandwidth)
+	}
 	bw := cfg.Bandwidth
 	if bw == 0 {
 		// Invalid files yield a meaningless sizing here, but
@@ -72,23 +81,6 @@ func Build(cfg BuildConfig) (*Program, error) {
 	return core.BuildProgramWith(cfg.Files, bw, func(sys pinwheel.System) (*pinwheel.Schedule, error) {
 		return solveChain(sys, cfg.Schedulers)
 	})
-}
-
-// BuildProgram constructs a broadcast program at the given bandwidth.
-// Unlike Build, a bandwidth below 1 is an error (the historical
-// behavior of this function), not a request for Equation-1/2 sizing.
-//
-// Deprecated: use Build with a BuildConfig.
-func BuildProgram(files []FileSpec, bandwidth int) (*Program, error) {
-	return core.BuildProgramWith(files, bandwidth, nil)
-}
-
-// BuildProgramAuto sizes bandwidth with Equation 1/2 and builds the
-// program.
-//
-// Deprecated: use Build with a zero-bandwidth BuildConfig.
-func BuildProgramAuto(files []FileSpec) (*Program, error) {
-	return Build(BuildConfig{Files: files})
 }
 
 // BuildGeneralizedProgram constructs a program for files with
@@ -127,14 +119,6 @@ type DispersalConfig struct {
 // any Threshold reconstruct it (Rabin's IDA over GF(2⁸)).
 func DisperseData(cfg DispersalConfig) ([]*Block, error) {
 	return ida.DisperseFile(cfg.FileID, cfg.Data, cfg.Threshold, cfg.Width)
-}
-
-// Disperse splits data into n self-identifying blocks of which any m
-// reconstruct it.
-//
-// Deprecated: use DisperseData with a DispersalConfig.
-func Disperse(fileID uint32, data []byte, m, n int) ([]*Block, error) {
-	return ida.DisperseFile(fileID, data, m, n)
 }
 
 // Reconstruct recovers a file from at least Threshold of its blocks.

@@ -11,7 +11,7 @@ func TestFacadeBuildAndSimulate(t *testing.T) {
 		{Name: "traffic", Blocks: 4, Latency: 8, Faults: 1},
 		{Name: "map", Blocks: 8, Latency: 40},
 	}
-	prog, err := BuildProgramAuto(files)
+	prog, err := Build(BuildConfig{Files: files})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +57,7 @@ func TestFacadeBandwidths(t *testing.T) {
 
 func TestFacadeIDA(t *testing.T) {
 	data := []byte("facade round trip")
-	blocks, err := Disperse(3, data, 2, 5)
+	blocks, err := DisperseData(DispersalConfig{FileID: 3, Data: data, Threshold: 2, Width: 5})
 	if err != nil {
 		t.Fatal(err)
 	}

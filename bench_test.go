@@ -1,4 +1,4 @@
-package pinbcast
+package pinbcast_test
 
 // One benchmark per table and figure of the paper's evaluation (the
 // experiment index in DESIGN.md), plus end-to-end performance
@@ -8,11 +8,16 @@ package pinbcast
 //	go test -bench=. -benchmem
 //
 // and see cmd/experiments for the rendered tables.
+//
+// This file lives in the external test package: internal/exp drives
+// the public Layout seam, so benchmarking it from inside package
+// pinbcast would be an import cycle.
 
 import (
 	"context"
 	"testing"
 
+	"pinbcast"
 	"pinbcast/internal/core"
 	"pinbcast/internal/exp"
 	"pinbcast/internal/pinwheel"
@@ -197,9 +202,9 @@ func BenchmarkEndToEndSimulation(b *testing.B) {
 		_, err := sim.Run(sim.Config{
 			Program:  prog,
 			Contents: contents,
-			Fault:    BernoulliFaults(0.05, int64(i)),
+			Fault:    pinbcast.BernoulliFaults(0.05, int64(i)),
 			Clients: []sim.ClientSpec{
-				{Start: i % 16, Requests: []Request{{File: "A"}, {File: "B"}}},
+				{Start: i % 16, Requests: []pinbcast.Request{{File: "A"}, {File: "B"}}},
 			},
 		})
 		if err != nil {
@@ -213,14 +218,14 @@ func BenchmarkEndToEndSimulation(b *testing.B) {
 // hot path of the Station service API and the series tracked by CI in
 // BENCH_station.json.
 func BenchmarkStationServe(b *testing.B) {
-	files := []core.FileSpec{
+	files := []pinbcast.FileSpec{
 		{Name: "A", Blocks: 4, Latency: 8, Faults: 1},
 		{Name: "B", Blocks: 8, Latency: 40},
 	}
-	st, err := New(
-		WithFiles(files...),
-		WithContents(workload.Contents(files, 256, 5)),
-		WithSlotBuffer(256),
+	st, err := pinbcast.New(
+		pinbcast.WithFiles(files...),
+		pinbcast.WithContents(workload.Contents(files, 256, 5)),
+		pinbcast.WithSlotBuffer(256),
 	)
 	if err != nil {
 		b.Fatal(err)
@@ -243,11 +248,11 @@ func BenchmarkStationServe(b *testing.B) {
 // loopSource replays a recorded slot stream forever — the unbounded
 // source the receiver throughput benchmarks drain.
 type loopSource struct {
-	slots []Slot
+	slots []pinbcast.Slot
 	i     int
 }
 
-func (s *loopSource) Next() (Slot, error) {
+func (s *loopSource) Next() (pinbcast.Slot, error) {
 	slot := s.slots[s.i%len(s.slots)]
 	s.i++
 	return slot, nil
@@ -257,16 +262,16 @@ func (s *loopSource) Close() error { return nil }
 
 // benchRecording captures a few data cycles of the standard two-file
 // station for replay-driven receiver benchmarks.
-func benchRecording(b *testing.B) (*Station, *Recording) {
+func benchRecording(b *testing.B) (*pinbcast.Station, *pinbcast.Recording) {
 	b.Helper()
-	files := []core.FileSpec{
+	files := []pinbcast.FileSpec{
 		{Name: "A", Blocks: 4, Latency: 8, Faults: 1},
 		{Name: "B", Blocks: 8, Latency: 40},
 	}
-	st, err := New(
-		WithFiles(files...),
-		WithContents(workload.Contents(files, 256, 5)),
-		WithSlotBuffer(256),
+	st, err := pinbcast.New(
+		pinbcast.WithFiles(files...),
+		pinbcast.WithContents(workload.Contents(files, 256, 5)),
+		pinbcast.WithSlotBuffer(256),
 	)
 	if err != nil {
 		b.Fatal(err)
@@ -277,7 +282,7 @@ func benchRecording(b *testing.B) (*Station, *Recording) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	rec, err := Record(SlotSource(slots), 4*st.Program().DataCycle())
+	rec, err := pinbcast.Record(pinbcast.SlotSource(slots), 4*st.Program().DataCycle())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -293,10 +298,10 @@ func benchRecording(b *testing.B) (*Station, *Recording) {
 // BENCH_receiver.json.
 func BenchmarkReceiverSlots(b *testing.B) {
 	st, rec := benchRecording(b)
-	src := &loopSource{slots: rec.slots}
-	r, err := Subscribe(src,
-		WithDirectory(st.Directory()),
-		WithRequest("missing", 0), // never broadcast: the loop never completes
+	src := &loopSource{slots: rec.Slots()}
+	r, err := pinbcast.Subscribe(src,
+		pinbcast.WithDirectory(st.Directory()),
+		pinbcast.WithRequest("missing", 0), // never broadcast: the loop never completes
 	)
 	if err != nil {
 		b.Fatal(err)
@@ -319,7 +324,8 @@ func BenchmarkReceiverReconstruct(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r, err := Subscribe(rec.Source(), WithDirectory(dir), WithRequest("A", 0))
+		r, err := pinbcast.Subscribe(rec.Source(),
+			pinbcast.WithDirectory(dir), pinbcast.WithRequest("A", 0))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -341,7 +347,7 @@ func BenchmarkStationBuild(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := New(WithFiles(files...), WithContents(contents)); err != nil {
+		if _, err := pinbcast.New(pinbcast.WithFiles(files...), pinbcast.WithContents(contents)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -355,6 +361,59 @@ func BenchmarkGeneralizedConstruction(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.BuildGeneralizedProgram(files); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Workload/QoS benchmarks — the BENCH_workload.json series tracked by
+// CI: program construction per layout strategy and online transaction
+// admission on a live station.
+
+func benchmarkLayout(b *testing.B, name string) {
+	b.Helper()
+	files := workload.IVHS(6, 7)
+	layout, ok := pinbcast.LookupLayout(name)
+	if !ok {
+		b.Fatalf("layout %q not registered", name)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pinbcast.Build(pinbcast.BuildConfig{Files: files, Layout: layout}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLayoutPinwheel(b *testing.B)       { benchmarkLayout(b, pinbcast.LayoutPinwheel) }
+func BenchmarkLayoutTiered(b *testing.B)         { benchmarkLayout(b, pinbcast.LayoutTiered) }
+func BenchmarkLayoutFlatSpread(b *testing.B)     { benchmarkLayout(b, pinbcast.LayoutFlatSpread) }
+func BenchmarkLayoutFlatSequential(b *testing.B) { benchmarkLayout(b, pinbcast.LayoutFlatSequential) }
+
+// BenchmarkAdmitTxn measures online QoS negotiation: one admit/release
+// round trip of a two-read transaction against a live station.
+func BenchmarkAdmitTxn(b *testing.B) {
+	files := workload.IVHS(4, 7)
+	st, err := pinbcast.New(
+		pinbcast.WithFiles(files...),
+		pinbcast.WithContents(workload.Contents(files, 128, 7)),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	txn := pinbcast.Txn{
+		Name:     "bench",
+		Reads:    []string{files[0].Name, "route-map"},
+		Deadline: 1 << 30,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.AdmitTxn(txn); err != nil {
+			b.Fatal(err)
+		}
+		if err := st.ReleaseTxn(txn.Name); err != nil {
 			b.Fatal(err)
 		}
 	}

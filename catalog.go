@@ -1,0 +1,38 @@
+package pinbcast
+
+import "pinbcast/internal/workload"
+
+// Scenario catalogs (internal/workload): the file sets and real-time
+// databases of the paper's motivating applications, exported so the
+// examples and any application can spin up a workload, pick a layout,
+// and negotiate transaction contracts without touching internal
+// packages. All generators are seeded and reproducible.
+
+// IVHSCatalog returns the broadcast files of the paper's Intelligent
+// Vehicle Highway System scenario (§1): per highway segment a
+// frequently refreshed traffic-conditions file and a slower incident
+// file, plus one shared route-guidance map. Latencies are in 100 ms
+// units.
+func IVHSCatalog(nSegments int, seed int64) []FileSpec {
+	return workload.IVHS(nSegments, seed)
+}
+
+// AWACSCatalog returns the paper's AWACS real-time database (§1, §2.2):
+// positional items whose temporal-consistency constraints derive from
+// platform velocities, with mode-dependent criticality scaling each
+// item's AIDA redundancy.
+func AWACSCatalog() *RTDatabase { return workload.AWACS() }
+
+// VideoCatalog returns a video-on-demand workload (§1's interactive-TV
+// motivation): nStreams streams whose frames must arrive at a steady
+// cadence. Latencies are in frame times.
+func VideoCatalog(nStreams int, seed int64) []FileSpec {
+	return workload.Video(nStreams, seed)
+}
+
+// CatalogContents fabricates deterministic file contents sized to the
+// specs (blockSize bytes per block) — the dispersal payloads the
+// examples and simulations broadcast.
+func CatalogContents(files []FileSpec, blockSize int, seed int64) map[string][]byte {
+	return workload.Contents(files, blockSize, seed)
+}

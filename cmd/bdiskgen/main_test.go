@@ -3,6 +3,8 @@ package main
 import (
 	"encoding/json"
 	"testing"
+
+	"pinbcast"
 )
 
 func TestSpecParsing(t *testing.T) {
@@ -59,6 +61,28 @@ func TestRunGeneralized(t *testing.T) {
 		t.Fatal(err)
 	}
 	if err := runGeneralized(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRegularTieredLayout(t *testing.T) {
+	l, ok := pinbcast.LookupLayout(pinbcast.LayoutTiered)
+	if !ok {
+		t.Fatal("tiered layout not registered")
+	}
+	layout = l
+	defer func() { layout = nil }()
+	// Cold listed first: AutoTier reorders hottest-first, so the report
+	// path must resolve files by name rather than spec index.
+	var s spec
+	raw := []byte(`{"files": [
+		{"name": "cold", "blocks": 2, "latency": 16},
+		{"name": "hot", "blocks": 1, "latency": 2}
+	]}`)
+	if err := json.Unmarshal(raw, &s); err != nil {
+		t.Fatal(err)
+	}
+	if err := runRegular(s, 0); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -9,9 +9,14 @@
 //
 // Usage:
 //
-//	bdsim [-files 8] [-clients 25] [-loss 0.05] [-burst] [-faults 1] [-seed 1]
+//	bdsim [-files 8] [-clients 25] [-loss 0.05] [-burst] [-faults 1] [-seed 1] [-layout pinwheel]
 //	bdsim -stream 64 [-files 4]
 //	bdsim -fanout [-clients 8] [-files 4] [-loss 0.05]
+//
+// -layout selects the program construction strategy for the simulation
+// (pinwheel, tiered, flat-spread, flat-sequential); deadlines are
+// always judged against the pinwheel windows, so non-real-time layouts
+// show their misses.
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 	"net"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -37,7 +43,21 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	stream := flag.Int("stream", 0, "serve this many live Station slots instead of simulating")
 	fanout := flag.Bool("fanout", false, "run -clients live Receivers over a TCP fan-out instead of simulating")
+	layoutName := flag.String("layout", "",
+		"construction layout for the simulation (default: pinwheel; registered: "+
+			strings.Join(pinbcast.LayoutNames(), ", ")+")")
 	flag.Parse()
+
+	var layout pinbcast.Layout
+	if *layoutName != "" {
+		l, ok := pinbcast.LookupLayout(strings.ToLower(strings.TrimSpace(*layoutName)))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "bdsim: unknown layout %q (registered: %s)\n",
+				*layoutName, strings.Join(pinbcast.LayoutNames(), ", "))
+			os.Exit(2)
+		}
+		layout = l
+	}
 
 	var err error
 	switch {
@@ -46,7 +66,7 @@ func main() {
 	case *fanout:
 		err = runFanout(*nFiles, *nClients, *loss, *faults, *seed)
 	default:
-		err = run(*nFiles, *nClients, *loss, *burst, *faults, *seed)
+		err = run(*nFiles, *nClients, *loss, *burst, *faults, *seed, layout)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bdsim:", err)
@@ -54,17 +74,23 @@ func main() {
 	}
 }
 
-func run(nFiles, nClients int, loss float64, burst bool, faults int, seed int64) error {
+func run(nFiles, nClients int, loss float64, burst bool, faults int, seed int64, layout pinbcast.Layout) error {
 	files := workload.Random(nFiles, 6, 10, 80, 0, seed)
 	for i := range files {
 		files[i].Faults = faults
 	}
-	prog, err := pinbcast.Build(pinbcast.BuildConfig{Files: files})
+	prog, err := pinbcast.Build(pinbcast.BuildConfig{Files: files, Layout: layout})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("bandwidth: %d blocks/unit (Eq 2), period %d, data cycle %d\n",
-		prog.Bandwidth, prog.Period, prog.DataCycle())
+	// Deadlines are the pinwheel windows at the Eq-2 bandwidth, whatever
+	// layout built the program — the real-time yardstick of the paper.
+	bw := prog.Bandwidth
+	if bw == 0 {
+		bw = pinbcast.SufficientBandwidth(files)
+	}
+	fmt.Printf("layout %s: bandwidth %d blocks/unit (Eq 2), period %d, data cycle %d\n",
+		prog.Origin, bw, prog.Period, prog.DataCycle())
 
 	var fault pinbcast.FaultModel
 	if burst {
@@ -80,7 +106,7 @@ func run(nFiles, nClients int, loss float64, burst bool, faults int, seed int64)
 		clients = append(clients, pinbcast.ClientSpec{
 			Start: (c * 37) % (4 * prog.Period),
 			Requests: []pinbcast.Request{
-				{File: f.Name, Deadline: prog.Bandwidth * f.Latency},
+				{File: f.Name, Deadline: bw * f.Latency},
 			},
 		})
 	}

@@ -1,15 +1,29 @@
 package main
 
-import "testing"
+import (
+	"testing"
+
+	"pinbcast"
+)
 
 func TestRunSmoke(t *testing.T) {
-	if err := run(4, 6, 0.05, false, 1, 3); err != nil {
+	if err := run(4, 6, 0.05, false, 1, 3, nil); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunBurstModel(t *testing.T) {
-	if err := run(3, 4, 0.04, true, 1, 5); err != nil {
+	if err := run(3, 4, 0.04, true, 1, 5, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTieredLayout(t *testing.T) {
+	l, ok := pinbcast.LookupLayout(pinbcast.LayoutTiered)
+	if !ok {
+		t.Fatal("tiered layout not registered")
+	}
+	if err := run(4, 6, 0.05, false, 1, 3, l); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunAllExperiments drives the command end to end: every experiment
+// regenerates and prints, the paper's table IDs all appear, and nothing
+// lands on stderr.
+func TestRunAllExperiments(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run("", &out, &errw); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errw.String())
+	}
+	if errw.Len() != 0 {
+		t.Fatalf("stderr: %s", errw.String())
+	}
+	for _, id := range []string{"E1", "E5", "E12", "E14"} {
+		if !strings.Contains(out.String(), "== "+id+":") {
+			t.Fatalf("experiment %s missing from output", id)
+		}
+	}
+}
+
+func TestRunOnlyFilters(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run("E12", &out, &errw); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errw.String())
+	}
+	if got := strings.Count(out.String(), "== E"); got != 1 {
+		t.Fatalf("printed %d tables, want exactly 1", got)
+	}
+}
+
+// TestRunUnknownIDExitsNonZero pins the CLI contract: -only with an
+// unknown experiment ID is a failure, not silence.
+func TestRunUnknownIDExitsNonZero(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run("E99", &out, &errw); code == 0 {
+		t.Fatal("unknown experiment ID exited zero")
+	}
+	if !strings.Contains(errw.String(), "E99") {
+		t.Fatalf("stderr does not name the unknown ID: %s", errw.String())
+	}
+}

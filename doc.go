@@ -49,6 +49,41 @@
 // RegisterScheduler. Every schedule is re-verified against its task
 // system before a program is built from it.
 //
+// # Workloads & QoS
+//
+// The declarative QoS pipeline is catalog → layout → negotiate →
+// guarantee. Catalogs export the paper's motivating workloads
+// (IVHSCatalog, AWACSCatalog, VideoCatalog); a Layout decides how the
+// broadcast program is constructed — the registry holds the paper's
+// worst-case-bounded "pinwheel" construction (§3, the default), the
+// Acharya–Franklin–Zdonik "tiered" Broadcast-Disk layout it is argued
+// against in §1 (AutoTier, mean-latency optimal, bounds nothing), and
+// the "flat-spread"/"flat-sequential" baselines of Figures 5–6 —
+// selectable per build (BuildConfig.Layout), per Station (WithLayout,
+// WithLayoutName) or by name on the CLIs. LatencyProfile and
+// WeightedMeanLatency analyze any layout's program.
+//
+// Transactions make the paper's headline guarantee concrete: a Txn is
+// a read set with a firm deadline in slots; GuaranteeTxn decides it
+// analytically from the windows B·Tᵢ, TxnLatency/TxnWorstLatency
+// measure it exactly on any program, and MaxStaleness composes
+// retrieval with refresh for §1's absolute temporal-consistency
+// constraints. On a live Station the same discipline runs online:
+//
+//	contract, err := station.AdmitTxn(pinbcast.Txn{
+//		Name: "trip", Reads: []string{"traffic-00", "route-map"}, Deadline: 1800,
+//	})
+//	c2, err := station.Negotiate(newFile, payload) // admit a file with a contract
+//
+// AdmitTxn and Negotiate run feasibility against the current file set
+// and return a Contract{WorstLatencySlots, StalenessSlots,
+// EffectiveAt} — or an ErrAdmission rejection that leaves the schedule
+// and every standing contract untouched. Issued contracts are
+// invariant: later Admit, Evict and Negotiate calls are verified
+// against them and refused if they would stretch a promised bound
+// (ReleaseTxn withdraws a contract; Contracts lists those in force).
+// Accepted changes land on data-cycle boundaries like Admit and Evict.
+//
 // # The Receiver
 //
 // The client half of the pair is the Receiver, built with the same
@@ -105,6 +140,7 @@
 //	internal/pinwheel  pinwheel schedulers and verifier
 //	internal/algebra   pinwheel algebra and conversions
 //	internal/core      broadcast program construction
+//	internal/multidisk frequency-tiered Broadcast Disks (the "tiered" layout)
 //	internal/server    broadcast server
 //	internal/channel   fault-injecting channel models
 //	internal/client    reconstructing client protocol

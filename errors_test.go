@@ -82,10 +82,13 @@ func TestErrInfeasible(t *testing.T) {
 	}
 }
 
-func TestErrBandwidthFromDeprecatedBuildProgram(t *testing.T) {
-	// The historical contract: an explicit bandwidth below 1 is an
-	// error, never a request for auto-sizing.
-	_, err := BuildProgram([]FileSpec{{Name: "A", Blocks: 2, Latency: 4}}, 0)
+func TestErrBandwidthFromNegativeBandwidth(t *testing.T) {
+	// An explicit bandwidth below 1 is an error, never a request for
+	// auto-sizing — only the zero value asks for Equation-1/2 sizing.
+	_, err := Build(BuildConfig{
+		Files:     []FileSpec{{Name: "A", Blocks: 2, Latency: 4}},
+		Bandwidth: -1,
+	})
 	if !errors.Is(err, ErrBandwidth) {
 		t.Fatalf("err = %v, want ErrBandwidth", err)
 	}

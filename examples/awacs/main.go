@@ -3,9 +3,15 @@
 // whose temporal-consistency constraints derive from platform
 // velocities: an aircraft at 900 km/h with 100 m required accuracy must
 // be refreshed every 400 ms, a 60 km/h tank every 6 s. Operation modes
-// ("combat", "landing") scale each item's AIDA redundancy, and a live
-// Station admits or rejects new sensor feeds online, protecting the
-// guarantees of items already on the disk.
+// ("combat", "landing") scale each item's AIDA redundancy.
+//
+// This example runs the mode-specific catalogs through the public QoS
+// API: each mode's database derives a broadcast program; a live combat
+// station then negotiates transaction contracts (an intercept
+// controller's read set, guaranteed against the certified windows),
+// admits a new sensor feed with its own contract, and rejects a flood
+// that would endanger the guarantees already issued — leaving the
+// schedule and every standing contract untouched.
 package main
 
 import (
@@ -15,11 +21,10 @@ import (
 	"time"
 
 	"pinbcast"
-	"pinbcast/internal/workload"
 )
 
 func main() {
-	db := workload.AWACS()
+	db := pinbcast.AWACSCatalog()
 	fmt.Println("AWACS real-time database (unit = 100 ms):")
 	for _, it := range db.Items {
 		fmt.Printf("  %-16s velocity %5.1f m/s, accuracy %5.1f m → constraint %v\n",
@@ -48,34 +53,66 @@ func main() {
 	}
 	fmt.Println()
 
-	// A live combat-mode station with online admission control: a new
-	// sensor feed joins only if the density test still passes at the
-	// station's bandwidth.
+	// A live combat-mode station negotiating QoS online.
 	combat, err := db.FileSpecs("combat")
 	if err != nil {
 		log.Fatal(err)
 	}
 	station, err := pinbcast.New(
 		pinbcast.WithDatabase(db, "combat"),
-		pinbcast.WithContents(workload.Contents(combat, 64, 1)),
+		pinbcast.WithContents(pinbcast.CatalogContents(combat, 64, 1)),
 	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	feed := pinbcast.FileSpec{Name: "radar-sweep", Blocks: 2, Latency: 30, Faults: 1}
-	if err := station.Admit(feed, []byte("radar sweep frame")); err != nil {
-		fmt.Printf("admission of %s REJECTED: %v\n", feed.Name, err)
-	} else {
-		fmt.Printf("admitted %s: disk now carries %d items (generation %d)\n",
-			feed.Name, len(station.Files()), station.Generation())
+	bw := station.Bandwidth()
+
+	// The intercept controller's transaction reads the fast movers; its
+	// deadline is the helicopter's temporal constraint (the looser of
+	// the two windows) — guaranteed analytically at admission time.
+	intercept := pinbcast.Txn{
+		Name:     "intercept-controller",
+		Reads:    []string{"aircraft-pos", "helicopter-pos"},
+		Deadline: bw * 15, // 1.5 s in slots
 	}
+	contract, err := station.AdmitTxn(intercept)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("contract %q: worst latency %d slots, staleness ≤ %d slots, generation %d\n",
+		contract.Name, contract.WorstLatencySlots, contract.StalenessSlots, contract.EffectiveAt)
+	if worst, err := pinbcast.TxnWorstLatency(station.Program(), intercept); err == nil {
+		fmt.Printf("measured worst case over every start slot: %d — within contract: %v\n",
+			worst, worst <= contract.WorstLatencySlots)
+	}
+
+	// A new sensor feed joins through negotiation and gets a contract of
+	// its own; the rebuilt program must keep the intercept contract.
+	feed := pinbcast.FileSpec{Name: "radar-sweep", Blocks: 2, Latency: 30, Faults: 1}
+	feedContract, err := station.Negotiate(feed, []byte("radar sweep frame"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("negotiated %q: worst latency %d slots, effective generation %d (disk carries %d items)\n",
+		feedContract.Name, feedContract.WorstLatencySlots, feedContract.EffectiveAt,
+		len(station.Files()))
+
+	// A raw video flood cannot be admitted at this bandwidth: the
+	// density test protects every standing guarantee, and rejection
+	// changes nothing.
+	before := len(station.Contracts())
 	flood := pinbcast.FileSpec{Name: "video-feed", Blocks: 200, Latency: 10}
-	if err := station.Admit(flood, []byte("raw video")); errors.Is(err, pinbcast.ErrAdmission) {
-		fmt.Printf("admission of %s rejected as designed: density bound protects deadlines\n",
+	if _, err := station.Negotiate(flood, []byte("raw video")); errors.Is(err, pinbcast.ErrAdmission) {
+		fmt.Printf("negotiation of %s rejected as designed: density bound protects deadlines\n",
 			flood.Name)
 	} else if err != nil {
 		log.Fatal(err)
 	} else {
 		log.Fatal("flood item unexpectedly admitted")
+	}
+	fmt.Printf("contracts still in force: %d of %d\n", len(station.Contracts()), before)
+	for _, c := range station.Contracts() {
+		fmt.Printf("    %-22s worst %4d slots, staleness ≤ %4d slots\n",
+			c.Name, c.WorstLatencySlots, c.StalenessSlots)
 	}
 }

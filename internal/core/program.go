@@ -77,6 +77,20 @@ func NewProgram(files []FileInfo, slots []int, bandwidth int, origin string) (*P
 // PerPeriod returns how many slots per period carry file i.
 func (p *Program) PerPeriod(i int) int { return p.perPeriod[i] }
 
+// FileIndex returns the file-table index of the named file, or -1 when
+// the program does not carry it. Layouts may order the file table
+// differently from the specification they were given (tiering groups
+// files by frequency), so callers holding names should resolve indices
+// through this method rather than assuming specification order.
+func (p *Program) FileIndex(name string) int {
+	for i := range p.Files {
+		if p.Files[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
 // FileAt returns the file index broadcast in slot t of the infinite
 // program, or Idle.
 func (p *Program) FileAt(t int) int { return p.Slots[t%p.Period] }
@@ -143,6 +157,47 @@ func (p *Program) DataCycle() int {
 		cycle = lcm(cycle, n/gcd(c, n))
 	}
 	return cycle * p.Period
+}
+
+// LatencyProfile reports the mean and worst-case fault-free retrieval
+// latency of file i over every start slot: the time until the file's
+// reconstruction threshold of M occurrences has passed (AIDA rotation
+// makes consecutive occurrences distinct). The profile is periodic, so
+// one period of start slots covers the infinite broadcast.
+func (p *Program) LatencyProfile(file int) (mean float64, worst int) {
+	occ := p.Occurrences(file)
+	need := p.Files[file].M
+	// occTime(k) is the absolute slot of the k-th occurrence of the
+	// file, counting across periods.
+	occTime := func(k int) int {
+		return occ[k%len(occ)] + (k/len(occ))*p.Period
+	}
+	total := 0
+	next := 0 // index of the first occurrence at or after start
+	for start := 0; start < p.Period; start++ {
+		for next < len(occ) && occ[next] < start {
+			next++
+		}
+		lat := occTime(next+need-1) - start + 1
+		total += lat
+		if lat > worst {
+			worst = lat
+		}
+	}
+	return float64(total) / float64(p.Period), worst
+}
+
+// WeightedMeanLatency returns the access-probability-weighted mean
+// retrieval latency over all files — the objective the multi-disk
+// layout optimizes (and the pinwheel construction deliberately does
+// not). probs must have one entry per file and sum to 1.
+func (p *Program) WeightedMeanLatency(probs []float64) float64 {
+	total := 0.0
+	for i := range p.Files {
+		mean, _ := p.LatencyProfile(i)
+		total += probs[i] * mean
+	}
+	return total
 }
 
 // VerifyWindows checks that every file receives at least `need`

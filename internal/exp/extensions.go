@@ -4,10 +4,10 @@ import (
 	"fmt"
 	"math/rand"
 
+	"pinbcast"
 	"pinbcast/internal/airindex"
 	"pinbcast/internal/cache"
 	"pinbcast/internal/core"
-	"pinbcast/internal/multidisk"
 	"pinbcast/internal/pinwheel"
 )
 
@@ -86,41 +86,46 @@ func CachePolicies(queries int, seed int64) (*Table, error) {
 }
 
 // MultidiskVsPinwheel (E12) contrasts the average-latency-optimal
-// multi-disk layout with the worst-case-bounded pinwheel program on the
-// same workload — the paper's §1 motivation made quantitative.
+// tiered layout with the worst-case-bounded pinwheel layout on the
+// same workload — the paper's §1 motivation made quantitative, driven
+// through the public Layout seam exactly as an application would.
 func MultidiskVsPinwheel() (*Table, error) {
-	files := []core.FileSpec{
+	files := []pinbcast.FileSpec{
 		{Name: "hot", Blocks: 2, Latency: 4},
 		{Name: "warm", Blocks: 4, Latency: 16},
 		{Name: "cold-a", Blocks: 4, Latency: 32},
 		{Name: "cold-b", Blocks: 4, Latency: 32},
 	}
-	disks := []multidisk.Disk{
+	// The classic hand-tiering of AFZ '95: spin ratios 4/2/1 chosen for
+	// the skew, deaf to the latency windows. (AutoTier — the "tiered"
+	// layout — picks 8/2/1 here, which happens to meet every window on
+	// this workload; the explicit tiers keep the paper's contrast sharp.)
+	disks := []pinbcast.Disk{
 		{Frequency: 4, Files: files[:1]},
 		{Frequency: 2, Files: files[1:2]},
 		{Frequency: 1, Files: files[2:]},
 	}
-	md, err := multidisk.BuildProgram(disks)
+	md, err := pinbcast.BuildTiered(disks)
 	if err != nil {
 		return nil, err
 	}
-	bw, err := core.MinBandwidth(files)
+	bw, err := pinbcast.MinBandwidth(files)
 	if err != nil {
 		return nil, err
 	}
-	pw, err := core.BuildProgram(files, bw)
+	pw, err := pinbcast.Build(pinbcast.BuildConfig{Files: files, Bandwidth: bw})
 	if err != nil {
 		return nil, err
 	}
 	t := &Table{
 		ID:    "E12",
-		Title: "multi-disk (avg-optimal) vs pinwheel (worst-case-bounded) layouts",
-		Header: []string{"file", "window B·T", "multidisk mean", "multidisk worst",
+		Title: "tiered (avg-optimal) vs pinwheel (worst-case-bounded) layouts",
+		Header: []string{"file", "window B·T", "tiered mean", "tiered worst",
 			"pinwheel mean", "pinwheel worst", "pinwheel within window"},
 	}
 	for i, f := range files {
-		mdMean, mdWorst := multidisk.LatencyProfile(md, i)
-		pwMean, pwWorst := multidisk.LatencyProfile(pw, i)
+		mdMean, mdWorst := pinbcast.LatencyProfile(md, i)
+		pwMean, pwWorst := pinbcast.LatencyProfile(pw, i)
 		window := bw * f.Latency
 		if pwWorst > window {
 			return nil, fmt.Errorf("exp: pinwheel worst %d exceeds window %d for %s",
@@ -129,8 +134,8 @@ func MultidiskVsPinwheel() (*Table, error) {
 		t.AddRow(f.Name, window, mdMean, mdWorst, pwMean, pwWorst, pwWorst <= window)
 	}
 	t.Notes = append(t.Notes,
-		"the multi-disk layout minimizes skew-weighted mean latency but bounds nothing;",
-		"the pinwheel program keeps every file inside its real-time window")
+		"the tiered multi-disk layout minimizes skew-weighted mean latency but bounds",
+		"nothing; the pinwheel program keeps every file inside its real-time window")
 	return t, nil
 }
 

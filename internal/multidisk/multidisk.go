@@ -14,6 +14,7 @@ package multidisk
 
 import (
 	"fmt"
+	"sort"
 
 	"pinbcast/internal/core"
 )
@@ -124,43 +125,69 @@ func BuildProgram(disks []Disk) (*core.Program, error) {
 	return p, nil
 }
 
-// LatencyProfile reports mean and worst-case fault-free retrieval
-// latency of a file over every start slot of the program's data cycle.
-func LatencyProfile(p *core.Program, file int) (mean float64, worst int) {
-	cycle := p.DataCycle()
-	need := p.Files[file].M
-	total := 0
-	for start := 0; start < cycle; start++ {
-		seen := 0
-		t := start
-		for {
-			if p.FileAt(t) == file {
-				seen++
-				if seen == need {
-					break
-				}
-			}
-			t++
-		}
-		lat := t - start + 1
-		total += lat
-		if lat > worst {
-			worst = lat
+// AutoTier partitions files into frequency-tiered broadcast disks by
+// latency constraint — the hot/cold partitioning of Acharya et al.
+// applied to real-time specs: with Lmax the loosest latency in the set,
+// a file of latency L lands on a disk of relative frequency 2^⌊log₂
+// Lmax/L⌋, so tightly-constrained (hot) files spin fastest. Frequencies
+// are powers of two, keeping the major cycle (their lcm) small. Disks
+// are returned hottest first; files keep their input order within a
+// disk.
+func AutoTier(files []core.FileSpec) ([]Disk, error) {
+	if err := core.ValidateAll(files); err != nil {
+		return nil, err
+	}
+	maxLat := 0
+	for _, f := range files {
+		if f.Latency > maxLat {
+			maxLat = f.Latency
 		}
 	}
-	return float64(total) / float64(cycle), worst
+	tier := func(f core.FileSpec) int {
+		freq := 1
+		for 2*freq*f.Latency <= maxLat {
+			freq *= 2
+		}
+		return freq
+	}
+	byFreq := map[int][]core.FileSpec{}
+	var freqs []int
+	for _, f := range files {
+		q := tier(f)
+		if _, seen := byFreq[q]; !seen {
+			freqs = append(freqs, q)
+		}
+		byFreq[q] = append(byFreq[q], f)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(freqs)))
+	disks := make([]Disk, len(freqs))
+	for i, q := range freqs {
+		disks[i] = Disk{Frequency: q, Files: byFreq[q]}
+	}
+	return disks, nil
+}
+
+// Plan auto-tiers the files and builds the tiered broadcast program —
+// the planning path behind the public "tiered" layout.
+func Plan(files []core.FileSpec) (*core.Program, error) {
+	disks, err := AutoTier(files)
+	if err != nil {
+		return nil, err
+	}
+	return BuildProgram(disks)
+}
+
+// LatencyProfile reports mean and worst-case fault-free retrieval
+// latency of a file over every start slot.
+func LatencyProfile(p *core.Program, file int) (mean float64, worst int) {
+	return p.LatencyProfile(file)
 }
 
 // WeightedMeanLatency returns the access-probability-weighted mean
 // latency over all files — the objective the multi-disk layout
 // optimizes. probs must sum to 1 across files.
 func WeightedMeanLatency(p *core.Program, probs []float64) float64 {
-	total := 0.0
-	for i := range p.Files {
-		mean, _ := LatencyProfile(p, i)
-		total += probs[i] * mean
-	}
-	return total
+	return p.WeightedMeanLatency(probs)
 }
 
 func gcd(a, b int) int {

@@ -135,6 +135,60 @@ func TestWeightedMeanLatency(t *testing.T) {
 	}
 }
 
+func TestAutoTier(t *testing.T) {
+	files := []core.FileSpec{
+		{Name: "hot", Blocks: 2, Latency: 4},
+		{Name: "warm", Blocks: 4, Latency: 16},
+		{Name: "cold-a", Blocks: 4, Latency: 32},
+		{Name: "cold-b", Blocks: 4, Latency: 32},
+	}
+	disks, err := AutoTier(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Power-of-two frequencies from Lmax/L: 32/4 → 8, 32/16 → 2, 32/32 → 1.
+	wantFreqs := []int{8, 2, 1}
+	if len(disks) != len(wantFreqs) {
+		t.Fatalf("disks = %d, want %d", len(disks), len(wantFreqs))
+	}
+	for i, want := range wantFreqs {
+		if disks[i].Frequency != want {
+			t.Fatalf("disk %d frequency = %d, want %d", i, disks[i].Frequency, want)
+		}
+	}
+	if len(disks[2].Files) != 2 || disks[2].Files[0].Name != "cold-a" {
+		t.Fatalf("cold tier = %+v", disks[2].Files)
+	}
+
+	p, err := Plan(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The hot file spins 8× as often as a cold one, so its mean
+	// retrieval latency must be lower.
+	hotMean, _ := LatencyProfile(p, 0)
+	coldMean, _ := LatencyProfile(p, 2)
+	if hotMean >= coldMean {
+		t.Fatalf("hot mean %.1f not below cold mean %.1f", hotMean, coldMean)
+	}
+	if got, want := p.PerPeriod(0), 8*files[0].Demand(); got != want {
+		t.Fatalf("hot slots per major cycle = %d, want %d", got, want)
+	}
+}
+
+func TestAutoTierSingleFile(t *testing.T) {
+	disks, err := AutoTier([]core.FileSpec{{Name: "only", Blocks: 3, Latency: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(disks) != 1 || disks[0].Frequency != 1 {
+		t.Fatalf("disks = %+v", disks)
+	}
+	if _, err := AutoTier(nil); err == nil {
+		t.Fatal("empty file set accepted")
+	}
+}
+
 func TestSingleDiskDegeneratesToFlat(t *testing.T) {
 	disks := []Disk{{Frequency: 3, Files: []core.FileSpec{
 		{Name: "only", Blocks: 4, Latency: 1},

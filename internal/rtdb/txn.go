@@ -3,6 +3,7 @@ package rtdb
 import (
 	"fmt"
 
+	"pinbcast/internal/bcerr"
 	"pinbcast/internal/core"
 )
 
@@ -25,13 +26,13 @@ type Txn struct {
 // Validate checks the transaction.
 func (x Txn) Validate() error {
 	if x.Name == "" {
-		return fmt.Errorf("rtdb: transaction needs a name")
+		return fmt.Errorf("rtdb: transaction needs a name: %w", bcerr.ErrBadSpec)
 	}
 	if len(x.Reads) == 0 {
-		return fmt.Errorf("rtdb: transaction %q reads nothing", x.Name)
+		return fmt.Errorf("rtdb: transaction %q reads nothing: %w", x.Name, bcerr.ErrBadSpec)
 	}
 	if x.Deadline < 1 {
-		return fmt.Errorf("rtdb: transaction %q has deadline %d", x.Name, x.Deadline)
+		return fmt.Errorf("rtdb: transaction %q has deadline %d: %w", x.Name, x.Deadline, bcerr.ErrBadSpec)
 	}
 	return nil
 }
@@ -52,7 +53,8 @@ func GuaranteeTxn(files []core.FileSpec, bandwidth int, x Txn) (bool, int, error
 	for _, name := range x.Reads {
 		f, ok := byName[name]
 		if !ok {
-			return false, 0, fmt.Errorf("rtdb: transaction %q reads unknown item %q", x.Name, name)
+			return false, 0, fmt.Errorf("rtdb: transaction %q reads unknown item %q: %w",
+				x.Name, name, bcerr.ErrBadSpec)
 		}
 		if w := bandwidth * f.Latency; w > worst {
 			worst = w
@@ -70,15 +72,9 @@ func TxnLatency(p *core.Program, x Txn, start int) (int, error) {
 	}
 	worst := 0
 	for _, name := range x.Reads {
-		file := -1
-		for i, f := range p.Files {
-			if f.Name == name {
-				file = i
-				break
-			}
-		}
+		file := p.FileIndex(name)
 		if file < 0 {
-			return 0, fmt.Errorf("rtdb: item %q not on the broadcast disk", name)
+			return 0, fmt.Errorf("rtdb: item %q not on the broadcast disk: %w", name, bcerr.ErrBadSpec)
 		}
 		need := p.Files[file].M
 		seen := 0

@@ -1,0 +1,186 @@
+package pinbcast
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"pinbcast/internal/core"
+	"pinbcast/internal/multidisk"
+)
+
+// Layout is a broadcast-program construction strategy: it turns a file
+// set and a channel bandwidth (blocks per time unit; 0 asks the layout
+// to size it, where sizing applies) into a cyclic broadcast program.
+// Layouts are the construction counterpart of the Scheduler seam: a
+// Scheduler orders pinwheel tasks inside the real-time construction,
+// while a Layout decides which construction runs at all. The package
+// registers four:
+//
+//   - "pinwheel" — the paper's fault-tolerant real-time construction:
+//     guarantees mᵢ+rᵢ block slots in every window of B·Tᵢ slots, so
+//     every per-file worst case is bounded (the default).
+//   - "tiered" — Acharya–Franklin–Zdonik frequency-tiered Broadcast
+//     Disks: files are auto-partitioned into hot/cold tiers by latency
+//     constraint and hot tiers spin faster, minimizing mean latency
+//     over a skewed access pattern. Bounds nothing; the paper's §1
+//     comparison point.
+//   - "flat-spread" — the uniformly-interleaved flat baseline of
+//     Figures 5–6 (Bresenham spacing minimizes δ).
+//   - "flat-sequential" — the naive back-to-back flat baseline.
+//
+// Applications may register their own with RegisterLayout and select
+// them per Build (BuildConfig.Layout) or per Station (WithLayout /
+// WithLayoutName).
+type Layout interface {
+	// Name identifies the layout in registries and flags.
+	Name() string
+	// Plan constructs the broadcast program for the files at the given
+	// bandwidth. Layouts that ignore bandwidth (the flat baselines, the
+	// tiered layout) accept 0.
+	Plan(files []FileSpec, bandwidth int) (*Program, error)
+}
+
+// layoutFunc adapts a function to the Layout interface.
+type layoutFunc struct {
+	name string
+	plan func([]FileSpec, int) (*Program, error)
+}
+
+func (l layoutFunc) Name() string { return l.name }
+func (l layoutFunc) Plan(files []FileSpec, bandwidth int) (*Program, error) {
+	return l.plan(files, bandwidth)
+}
+
+// NewLayout wraps a plain planning function as a Layout.
+func NewLayout(name string, plan func(files []FileSpec, bandwidth int) (*Program, error)) Layout {
+	return layoutFunc{name: name, plan: plan}
+}
+
+var (
+	layoutMu       sync.RWMutex
+	layoutRegistry = map[string]Layout{}
+)
+
+// RegisterLayout adds a layout to the global registry, making it
+// selectable by name in WithLayoutName and the cmd/ binaries. It
+// returns ErrBadSpec when the name is empty or already taken.
+func RegisterLayout(l Layout) error {
+	name := l.Name()
+	if name == "" {
+		return fmt.Errorf("pinbcast: layout has no name: %w", ErrBadSpec)
+	}
+	layoutMu.Lock()
+	defer layoutMu.Unlock()
+	if _, dup := layoutRegistry[name]; dup {
+		return fmt.Errorf("pinbcast: layout %q already registered: %w", name, ErrBadSpec)
+	}
+	layoutRegistry[name] = l
+	return nil
+}
+
+// LookupLayout returns the registered layout with the given name.
+func LookupLayout(name string) (Layout, bool) {
+	layoutMu.RLock()
+	defer layoutMu.RUnlock()
+	l, ok := layoutRegistry[name]
+	return l, ok
+}
+
+// LayoutNames returns the names of all registered layouts, sorted.
+func LayoutNames() []string {
+	layoutMu.RLock()
+	defer layoutMu.RUnlock()
+	names := make([]string, 0, len(layoutRegistry))
+	for name := range layoutRegistry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Built-in layout names.
+const (
+	LayoutPinwheel       = "pinwheel"        // fault-tolerant real-time construction (§3)
+	LayoutTiered         = "tiered"          // frequency-tiered Broadcast Disks (AFZ '95)
+	LayoutFlatSpread     = "flat-spread"     // uniformly-interleaved flat baseline
+	LayoutFlatSequential = "flat-sequential" // back-to-back flat baseline
+)
+
+// pinwheelLayout is the registered "pinwheel" layout. It is a distinct
+// type (not a NewLayout closure) so that Build and Station.plan can
+// recognize the built-in construction structurally and compose it with
+// the configured scheduler chain; a third-party layout that merely
+// reuses the name is dispatched like any other custom layout.
+type pinwheelLayout struct{}
+
+func (pinwheelLayout) Name() string { return LayoutPinwheel }
+func (pinwheelLayout) Plan(files []FileSpec, bandwidth int) (*Program, error) {
+	if bandwidth == 0 {
+		bandwidth = core.SufficientBandwidth(files)
+	}
+	return core.BuildProgramWith(files, bandwidth, nil)
+}
+
+// isBuiltinPinwheel reports whether l is the built-in pinwheel layout
+// (or nil, the default that means the same construction).
+func isBuiltinPinwheel(l Layout) bool {
+	if l == nil {
+		return true
+	}
+	_, ok := l.(pinwheelLayout)
+	return ok
+}
+
+func init() {
+	for _, l := range []Layout{
+		pinwheelLayout{},
+		NewLayout(LayoutTiered, func(files []FileSpec, _ int) (*Program, error) {
+			return multidisk.Plan(files)
+		}),
+		NewLayout(LayoutFlatSpread, func(files []FileSpec, _ int) (*Program, error) {
+			return core.FlatSpread(files)
+		}),
+		NewLayout(LayoutFlatSequential, func(files []FileSpec, _ int) (*Program, error) {
+			return core.FlatSequential(files)
+		}),
+	} {
+		if err := RegisterLayout(l); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// Tiered Broadcast Disks (internal/multidisk), promoted for direct use.
+type (
+	// Disk is one tier of a multi-disk broadcast: a relative spinning
+	// frequency and the files stored on it.
+	Disk = multidisk.Disk
+)
+
+// AutoTier partitions files into frequency-tiered disks by latency
+// constraint: a file of latency L lands on a disk of relative frequency
+// 2^⌊log₂ Lmax/L⌋, so tightly-constrained files spin fastest. This is
+// the partitioning the "tiered" layout applies.
+func AutoTier(files []FileSpec) ([]Disk, error) { return multidisk.AutoTier(files) }
+
+// BuildTiered builds the interleaved multi-disk program for explicit
+// tiers; use AutoTier (or the "tiered" layout) to derive tiers from
+// latency constraints.
+func BuildTiered(disks []Disk) (*Program, error) { return multidisk.BuildProgram(disks) }
+
+// LatencyProfile reports the mean and worst-case fault-free retrieval
+// latency of file i of the program over every start slot — the
+// analytics behind the paper's multi-disk-versus-pinwheel comparison,
+// applicable to any layout's program.
+func LatencyProfile(p *Program, file int) (mean float64, worst int) {
+	return p.LatencyProfile(file)
+}
+
+// WeightedMeanLatency returns the access-probability-weighted mean
+// retrieval latency over all files of the program — the objective the
+// tiered layout optimizes and the pinwheel construction deliberately
+// does not. probs must have one entry per file and sum to 1.
+func WeightedMeanLatency(p *Program, probs []float64) float64 {
+	return p.WeightedMeanLatency(probs)
+}

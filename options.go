@@ -11,6 +11,7 @@ type stationConfig struct {
 	contents   map[string][]byte
 	bandwidth  int // 0 = size with Equation 2
 	schedulers []Scheduler
+	layout     Layout // nil = the pinwheel construction
 	interval   time.Duration
 	buffer     int
 }
@@ -84,6 +85,35 @@ func WithSchedulerNames(names ...string) Option {
 			}
 			c.schedulers = append(c.schedulers, s)
 		}
+		return nil
+	}
+}
+
+// WithLayout selects the broadcast-program construction strategy the
+// station (re)builds its programs with — on construction and on every
+// Admit, Evict and Negotiate. Without this option (or with the
+// registered "pinwheel" layout) the station runs the paper's real-time
+// construction, composed with any WithSchedulers chain; any other
+// layout owns construction entirely and ignores the scheduler chain.
+func WithLayout(l Layout) Option {
+	return func(c *stationConfig) error {
+		if l == nil {
+			return fmt.Errorf("pinbcast: nil layout: %w", ErrBadSpec)
+		}
+		c.layout = l
+		return nil
+	}
+}
+
+// WithLayoutName selects a registered layout by name.
+func WithLayoutName(name string) Option {
+	return func(c *stationConfig) error {
+		l, ok := LookupLayout(name)
+		if !ok {
+			return fmt.Errorf("pinbcast: unknown layout %q (registered: %v): %w",
+				name, LayoutNames(), ErrBadSpec)
+		}
+		c.layout = l
 		return nil
 	}
 }

@@ -160,6 +160,13 @@ func (rec *Recording) Len() int {
 	return len(rec.slots)
 }
 
+// Slots returns a copy of the recorded slots in capture order.
+func (rec *Recording) Slots() []Slot {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	return append([]Slot(nil), rec.slots...)
+}
+
 // Source returns a replay of the recording from its first slot. Each
 // call returns an independent replay cursor.
 func (rec *Recording) Source() Source { return &replaySource{rec: rec} }

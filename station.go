@@ -62,6 +62,7 @@ type generation struct {
 type Station struct {
 	bandwidth  int
 	schedulers []Scheduler
+	layout     Layout
 	interval   time.Duration
 	buffer     int
 
@@ -77,6 +78,9 @@ type Station struct {
 	// contents is the authoritative dispersal source, owned by the
 	// station; mutated only under buildMu.
 	contents map[string][]byte
+	// qos holds the issued QoS contracts (AdmitTxn, Negotiate), keyed
+	// by contract name; read under mu, mutated under buildMu+mu.
+	qos map[string]qosEntry
 }
 
 // New constructs a Station from functional options. At least one file
@@ -104,9 +108,11 @@ func New(opts ...Option) (*Station, error) {
 	st := &Station{
 		bandwidth:  bw,
 		schedulers: cfg.schedulers,
+		layout:     cfg.layout,
 		interval:   cfg.interval,
 		buffer:     cfg.buffer,
 		contents:   cfg.contents,
+		qos:        map[string]qosEntry{},
 	}
 	gen, err := st.build(cfg.files)
 	if err != nil {
@@ -117,12 +123,10 @@ func New(opts ...Option) (*Station, error) {
 }
 
 // build constructs a new program generation for the file set at the
-// station's bandwidth, using its scheduler chain. Caller must hold
-// buildMu (or be the constructor).
+// station's bandwidth, using its layout and scheduler chain. Caller
+// must hold buildMu (or be the constructor).
 func (st *Station) build(files []FileSpec) (*generation, error) {
-	prog, err := core.BuildProgramWith(files, st.bandwidth, func(sys pinwheel.System) (*pinwheel.Schedule, error) {
-		return solveChain(sys, st.schedulers)
-	})
+	prog, err := st.plan(files)
 	if err != nil {
 		return nil, err
 	}
@@ -138,6 +142,27 @@ func (st *Station) build(files []FileSpec) (*generation, error) {
 		srv:     srv,
 		cycle:   prog.DataCycle(),
 	}, nil
+}
+
+// plan runs the station's layout strategy. The pinwheel construction —
+// the default, and the registered "pinwheel" layout when selected by
+// name — composes with the station's scheduler chain; any other layout
+// owns program construction entirely.
+func (st *Station) plan(files []FileSpec) (*Program, error) {
+	if !isBuiltinPinwheel(st.layout) {
+		return st.layout.Plan(files, st.bandwidth)
+	}
+	return core.BuildProgramWith(files, st.bandwidth, func(sys pinwheel.System) (*pinwheel.Schedule, error) {
+		return solveChain(sys, st.schedulers)
+	})
+}
+
+// Layout returns the name of the station's layout strategy.
+func (st *Station) Layout() string {
+	if st.layout != nil {
+		return st.layout.Name()
+	}
+	return LayoutPinwheel
 }
 
 // Program returns the broadcast program of the active generation.
@@ -251,10 +276,12 @@ func (st *Station) serveLoop(ctx context.Context, out chan<- Slot) {
 // Admit adds a file to the broadcast online. The candidate passes
 // density-based admission control at the station's bandwidth (§1's
 // admission-control discipline: it joins only if every already-admitted
-// guarantee is preserved), a new program generation is constructed, and
-// the swap happens at the next data-cycle boundary of the running
-// broadcast (immediately when the station is not serving). Rejections
-// wrap ErrAdmission; invalid candidates wrap ErrBadSpec.
+// guarantee is preserved), the rebuilt program is verified against
+// every issued QoS contract, and the swap happens at the next
+// data-cycle boundary of the running broadcast (immediately when the
+// station is not serving). Rejections wrap ErrAdmission; invalid
+// candidates wrap ErrBadSpec. Use Negotiate to admit a file and receive
+// its own service contract.
 func (st *Station) Admit(f FileSpec, contents []byte) error {
 	st.buildMu.Lock()
 	defer st.buildMu.Unlock()
@@ -271,6 +298,9 @@ func (st *Station) Admit(f FileSpec, contents []byte) error {
 	prior, had := st.contents[f.Name]
 	st.contents[f.Name] = contents
 	gen, err := st.build(files)
+	if err == nil {
+		err = st.verifyContracts(gen)
+	}
 	if err != nil {
 		if had {
 			st.contents[f.Name] = prior
@@ -285,7 +315,8 @@ func (st *Station) Admit(f FileSpec, contents []byte) error {
 
 // Evict removes a file from the broadcast at the next data-cycle
 // boundary, releasing its bandwidth share. Evicting an unknown file or
-// the last file wraps ErrBadSpec.
+// the last file wraps ErrBadSpec; evicting a file some issued contract
+// still reads wraps ErrAdmission (release the contract first).
 func (st *Station) Evict(name string) error {
 	st.buildMu.Lock()
 	defer st.buildMu.Unlock()
@@ -304,6 +335,9 @@ func (st *Station) Evict(name string) error {
 	}
 	gen, err := st.build(files)
 	if err != nil {
+		return err
+	}
+	if err := st.verifyContracts(gen); err != nil {
 		return err
 	}
 	delete(st.contents, name)

@@ -1,0 +1,54 @@
+package pinbcast
+
+import "pinbcast/internal/rtdb"
+
+// Read-only client transactions over broadcast data (§1): a transaction
+// reads a set of broadcast items and must complete retrieval of all of
+// them before a firm deadline. Because the pinwheel construction bounds
+// every file's worst-case retrieval by its window B·Tᵢ, a transaction's
+// deadline can be guaranteed at admission time — the contract-before-
+// service discipline the paper argues real-time databases need. For a
+// live broadcast, Station.AdmitTxn negotiates the same guarantee
+// online and holds later program changes to it.
+
+// Txn is a read-only transaction: a named read set with a firm deadline
+// in slots.
+type Txn = rtdb.Txn
+
+// GuaranteeTxn decides analytically, at admission time, whether the
+// transaction's deadline is guaranteed by the pinwheel construction at
+// the given bandwidth: every read file's window B·Tᵢ (its worst-case
+// fault-tolerant retrieval bound) must fit in the deadline. It returns
+// the binding worst-case bound in slots. The analytic bound holds for
+// any program the pinwheel layout builds from these files at this
+// bandwidth; for other layouts, measure with TxnWorstLatency or
+// negotiate through Station.AdmitTxn.
+func GuaranteeTxn(files []FileSpec, bandwidth int, x Txn) (bool, int, error) {
+	return rtdb.GuaranteeTxn(files, bandwidth, x)
+}
+
+// TxnLatency returns the fault-free retrieval time of the transaction
+// on the program when the client starts listening at the given slot:
+// the time until every read file's reconstruction threshold of blocks
+// has passed.
+func TxnLatency(p *Program, x Txn, start int) (int, error) {
+	return rtdb.TxnLatency(p, x, start)
+}
+
+// TxnWorstLatency maximizes TxnLatency over every start slot of one
+// period — the measured worst case of the transaction on this exact
+// program, whatever layout built it.
+func TxnWorstLatency(p *Program, x Txn) (int, error) {
+	return rtdb.TxnWorstLatency(p, x)
+}
+
+// MaxStaleness bounds the age of item data a client holds right after
+// retrieving it, when the server refreshes the item every refreshSlots
+// slots and retrieval takes at most windowSlots: the copy captured on
+// the air may already be up to refreshSlots old when its last block
+// leaves the server, plus the retrieval time itself. The absolute
+// temporal-consistency constraint of §1 is met whenever the sum stays
+// within the item's constraint.
+func MaxStaleness(windowSlots, refreshSlots int) int {
+	return rtdb.MaxStaleness(windowSlots, refreshSlots)
+}
