@@ -15,7 +15,9 @@ package pinbcast_test
 
 import (
 	"context"
+	"net"
 	"testing"
+	"time"
 
 	"pinbcast"
 	"pinbcast/internal/core"
@@ -339,6 +341,88 @@ func BenchmarkReceiverReconstruct(b *testing.B) {
 	}
 }
 
+// BenchmarkServeFanoutPipeline measures the full networked data plane
+// in steady state: Station serve loop → Pump → TCP Fanout → framed
+// wire → TCPSource (buffer reuse on) → Receiver protocol step. MB/s is
+// wire payload throughput; the per-slot cost covers framing, one
+// loopback round, frame decode and block classification. Tracked by CI
+// in BENCH_dataplane.json.
+func BenchmarkServeFanoutPipeline(b *testing.B) {
+	files := []pinbcast.FileSpec{
+		{Name: "A", Blocks: 4, Latency: 8, Faults: 1},
+		{Name: "B", Blocks: 8, Latency: 40},
+	}
+	st, err := pinbcast.New(
+		pinbcast.WithFiles(files...),
+		pinbcast.WithContents(workload.Contents(files, 4096, 5)),
+		pinbcast.WithSlotBuffer(256),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	// A generous write timeout turns a full subscriber queue into
+	// backpressure on the serve loop instead of an eviction: the
+	// benchmark's receiver paces the whole pipeline.
+	fan := pinbcast.NewFanout(ln, time.Hour)
+	defer fan.Close()
+
+	src, err := pinbcast.DialSource(fan.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	src.Reuse = true
+	src.Timeout = 30 * time.Second
+	r, err := pinbcast.Subscribe(src,
+		pinbcast.WithDirectory(st.Directory()),
+		pinbcast.WithRequest("missing", 0), // never broadcast: the loop never completes
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for fan.ClientCount() < 1 {
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go st.Broadcast(ctx, fan)
+
+	// Warm the pipeline for one data cycle, and compute the average wire
+	// payload per slot for SetBytes: every non-idle slot carries one
+	// 4096-byte shard plus the block header.
+	prog := st.Program()
+	cycle := prog.DataCycle()
+	busy := 0
+	for t := 0; t < cycle; t++ {
+		if prog.FileAt(t) != pinbcast.Idle {
+			busy++
+		}
+		if _, err := r.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	blk, err := pinbcast.DisperseData(pinbcast.DispersalConfig{
+		FileID: 1, Data: make([]byte, 4096), Threshold: 1, Width: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(busy * len(blk[0].Marshal()) / cycle))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	cancel()
+	r.Close()
+}
+
 // BenchmarkStationBuild measures full service construction: admission
 // of the file set, portfolio scheduling, AIDA dispersal.
 func BenchmarkStationBuild(b *testing.B) {
@@ -359,6 +443,7 @@ func BenchmarkGeneralizedConstruction(b *testing.B) {
 		{Name: "met", Blocks: 2, Latencies: []int{12, 16}},
 	}
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.BuildGeneralizedProgram(files); err != nil {
 			b.Fatal(err)

@@ -12,11 +12,16 @@
 //	bdsim [-files 8] [-clients 25] [-loss 0.05] [-burst] [-faults 1] [-seed 1] [-layout pinwheel]
 //	bdsim -stream 64 [-files 4]
 //	bdsim -fanout [-clients 8] [-files 4] [-loss 0.05]
+//	bdsim -fanout -cpuprofile cpu.out -memprofile mem.out
 //
 // -layout selects the program construction strategy for the simulation
 // (pinwheel, tiered, flat-spread, flat-sequential); deadlines are
 // always judged against the pinwheel windows, so non-real-time layouts
 // show their misses.
+//
+// -cpuprofile and -memprofile write pprof profiles of the selected run
+// mode for field profiling of the data plane (`go tool pprof` reads
+// them); the heap profile is captured after the run completes.
 package main
 
 import (
@@ -25,6 +30,8 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"sync"
@@ -35,6 +42,12 @@ import (
 )
 
 func main() {
+	os.Exit(mainRun())
+}
+
+// mainRun holds main's body so profile-flushing defers run before the
+// process exits, whatever the run's outcome.
+func mainRun() int {
 	nFiles := flag.Int("files", 8, "number of broadcast files")
 	nClients := flag.Int("clients", 25, "number of clients")
 	loss := flag.Float64("loss", 0.05, "block loss probability")
@@ -46,7 +59,40 @@ func main() {
 	layoutName := flag.String("layout", "",
 		"construction layout for the simulation (default: pinwheel; registered: "+
 			strings.Join(pinbcast.LayoutNames(), ", ")+")")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	flag.Parse()
+
+	// Registered before the CPU-profile defers so that (LIFO) the CPU
+	// profile stops before the forced GC and heap write run — tooling
+	// overhead must not appear in the captured profile.
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bdsim:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "bdsim:", err)
+			}
+		}()
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bdsim:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "bdsim:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	var layout pinbcast.Layout
 	if *layoutName != "" {
@@ -54,7 +100,7 @@ func main() {
 		if !ok {
 			fmt.Fprintf(os.Stderr, "bdsim: unknown layout %q (registered: %s)\n",
 				*layoutName, strings.Join(pinbcast.LayoutNames(), ", "))
-			os.Exit(2)
+			return 2
 		}
 		layout = l
 	}
@@ -70,8 +116,9 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bdsim:", err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 func run(nFiles, nClients int, loss float64, burst bool, faults int, seed int64, layout pinbcast.Layout) error {
@@ -183,6 +230,9 @@ func runFanout(nFiles, nClients int, loss float64, faults int, seed int64) error
 			return err
 		}
 		src.Timeout = 30 * time.Second
+		// Receivers decode each slot before fetching the next, so the
+		// allocation-free frame-buffer reuse path is safe here.
+		src.Reuse = true
 		f1 := files[c%len(files)]
 		f2 := files[(c+1+c/len(files))%len(files)]
 		reqs := []pinbcast.Request{{File: f1.Name, Deadline: 2 * st.Bandwidth() * f1.Latency}}

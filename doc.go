@@ -125,6 +125,24 @@
 // One Receiver runs unchanged against all three. Pump glues a served
 // stream to a sink; Station.Broadcast is Serve+Pump in one call.
 //
+// # Performance
+//
+// The data plane is allocation-free in steady state: the station serves
+// cached wire forms, the fan-out writer and the TCP receive path reuse
+// their frame buffers (TCPSource.Reuse opts the subscriber side in),
+// and the receiver decodes every block into a scratch buffer, cloning
+// only the blocks it keeps. Dispersal and reconstruction run through a
+// table-driven GF(2⁸) kernel over a systematic dispersal matrix — the
+// first m blocks of every file are verbatim source blocks, so encode
+// pays only for redundancy and a fault-free decode is a copy — at
+// hundreds of MB/s per core (see the Performance section of README.md
+// for the measured series and the buffer-ownership rules of the
+// streaming APIs). Benchmarks: BenchmarkDisperseMBps and
+// BenchmarkReconstructMBps in internal/ida, BenchmarkStationServe,
+// BenchmarkReceiverSlots and BenchmarkServeFanoutPipeline at the
+// package root; CI tracks them as the BENCH_dataplane.json artifact.
+// cmd/bdsim profiles a live pipeline via -cpuprofile/-memprofile.
+//
 // All failures wrap the package's typed errors — ErrBadSpec,
 // ErrInfeasible, ErrBandwidth, ErrAdmission — so callers classify them
 // with errors.Is regardless of the originating layer.

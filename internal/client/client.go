@@ -61,6 +61,17 @@ type Client struct {
 	pending  map[string]*pendingFile
 	results  []Result
 	fileName map[uint32]string // file ID -> name, learned from the server mapping
+
+	// dirView is the copy-on-write snapshot Directory hands out: built
+	// lazily, shared across calls, and dropped (not mutated) when Learn
+	// changes the directory — so per-slot Directory callers allocate
+	// nothing in steady state.
+	dirView map[uint32]string
+
+	// scratch is the decode target Observe reuses across slots, so
+	// classifying a block costs no allocation; only blocks worth keeping
+	// are cloned out of it.
+	scratch ida.Block
 }
 
 type pendingFile struct {
@@ -129,15 +140,29 @@ func (c *Client) Add(r Request) error {
 
 // Learn adds one directory entry mapping a broadcast file identifier to
 // a name (e.g. gleaned from an air index or an in-process slot stream).
-func (c *Client) Learn(id uint32, name string) { c.fileName[id] = name }
-
-// Directory returns a copy of the client's current id→name directory.
-func (c *Client) Directory() map[uint32]string {
-	out := make(map[uint32]string, len(c.fileName))
-	for id, name := range c.fileName {
-		out[id] = name
+// Re-learning an unchanged entry is free; a genuinely new or changed
+// entry invalidates the snapshot Directory hands out.
+func (c *Client) Learn(id uint32, name string) {
+	if prev, ok := c.fileName[id]; ok && prev == name {
+		return
 	}
-	return out
+	c.fileName[id] = name
+	c.dirView = nil
+}
+
+// Directory returns the client's current id→name directory as a shared
+// read-only snapshot: the same map is returned until the directory
+// changes (copy-on-write), so per-slot callers do not allocate. Callers
+// must not mutate it.
+func (c *Client) Directory() map[uint32]string {
+	if c.dirView == nil {
+		view := make(map[uint32]string, len(c.fileName))
+		for id, name := range c.fileName {
+			view[id] = name
+		}
+		c.dirView = view
+	}
+	return c.dirView
 }
 
 // Start returns the slot at which the client began listening (-1 if it
@@ -206,14 +231,17 @@ func (c *Client) Observe(t int, raw []byte) Outcome {
 	if raw == nil {
 		return Idle
 	}
-	blk, err := ida.Unmarshal(raw)
-	if err != nil {
+	// Decode into the reusable scratch block: most slots carry a block
+	// the client ignores (another file's, or a duplicate), and those
+	// must not cost an allocation. Only a block that is actually stored
+	// is cloned out of the scratch.
+	if err := ida.UnmarshalInto(raw, &c.scratch); err != nil {
 		// The block is unreadable; we cannot even tell whose it was.
 		// Charge it to every still-pending file's corruption count is
 		// wrong; charge nobody, as the paper's client simply waits.
 		return Corrupt
 	}
-	name, ok := c.fileName[blk.FileID]
+	name, ok := c.fileName[c.scratch.FileID]
 	if !ok {
 		return Unknown
 	}
@@ -221,9 +249,10 @@ func (c *Client) Observe(t int, raw []byte) Outcome {
 	if !wanted || p.done {
 		return Ignored
 	}
-	if _, dup := p.blocks[blk.Seq]; dup {
+	if _, dup := p.blocks[c.scratch.Seq]; dup {
 		return Ignored
 	}
+	blk := c.scratch.Clone()
 	p.blocks[blk.Seq] = blk
 	if len(p.blocks) >= int(blk.M) {
 		c.finish(name, p)

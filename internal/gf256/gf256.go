@@ -10,7 +10,19 @@
 // All operations are total: Div and Inv panic on division by zero, which
 // in this codebase always indicates a programming error (the dispersal
 // matrices are constructed to be invertible).
+//
+// The bulk kernels MulSlice and MulAddSlice are the inner loops of every
+// dispersal, reconstruction and matrix inversion in the system. They are
+// table-driven: MulTable(c) yields the full 256-entry product table of a
+// coefficient (64 KiB for all 256 tables, built once at init), turning a
+// per-byte multiply into a single dependent load, and the loops assemble
+// eight products at a time into a uint64 so the accumulate into dst is
+// one word-wide XOR instead of eight read-modify-write byte stores.
+// MulSlow remains the shift-and-reduce oracle the tables are verified
+// against.
 package gf256
+
+import "encoding/binary"
 
 // Poly is the primitive reduction polynomial for the field,
 // x⁸ + x⁴ + x³ + x² + 1.
@@ -20,9 +32,19 @@ const Poly = 0x11d
 // multiplicative group of the field.
 const Generator = 0x02
 
+// Table is the full product table of one fixed coefficient c:
+// Table[x] = c·x for every field element x. Indexing a *Table by a byte
+// never bounds-checks, which is what makes the bulk kernels fast.
+type Table [256]byte
+
 var (
 	expTable [512]byte // expTable[i] = Generator^i, doubled to avoid mod 255
 	logTable [256]byte // logTable[x] = i such that Generator^i == x (x != 0)
+
+	// mulTables[c][x] = c·x. 64 KiB total, built once at init; every
+	// MulTable call returns a pointer into this array, so per-coefficient
+	// tables are cached process-wide and never recomputed.
+	mulTables [256]Table
 )
 
 func init() {
@@ -38,7 +60,21 @@ func init() {
 	for i := 255; i < 512; i++ {
 		expTable[i] = expTable[i-255]
 	}
+	for c := 1; c < 256; c++ {
+		logC := int(logTable[c])
+		t := &mulTables[c]
+		for x := 1; x < 256; x++ {
+			t[x] = expTable[logC+int(logTable[x])]
+		}
+	}
 }
+
+// MulTable returns the cached 256-entry product table of c: the returned
+// table maps x to c·x. The table is shared and read-only; callers must
+// not modify it. Holding the table amortizes the coefficient setup across
+// many MulAddSlice calls with the same c (the per-row pattern of matrix
+// encoding).
+func MulTable(c byte) *Table { return &mulTables[c] }
 
 // Add returns a + b in GF(2⁸). Addition and subtraction coincide.
 func Add(a, b byte) byte { return a ^ b }
@@ -141,13 +177,28 @@ func MulSlice(c byte, src, dst []byte) {
 		copy(dst, src)
 		return
 	}
-	logC := int(logTable[c])
-	for i, s := range src {
-		if s == 0 {
-			dst[i] = 0
-		} else {
-			dst[i] = expTable[logC+int(logTable[s])]
-		}
+	mulSliceTable(&mulTables[c], src, dst)
+}
+
+// MulSliceTable sets dst[i] = t[src[i]] for a table obtained from
+// MulTable — MulSlice with the coefficient lookup hoisted out.
+func MulSliceTable(t *Table, src, dst []byte) {
+	if len(src) != len(dst) {
+		panic("gf256: MulSliceTable length mismatch")
+	}
+	mulSliceTable(t, src, dst)
+}
+
+func mulSliceTable(t *Table, src, dst []byte) {
+	n := len(src) &^ 7
+	for i := 0; i < n; i += 8 {
+		s := src[i : i+8 : i+8]
+		v := uint64(t[s[0]]) | uint64(t[s[1]])<<8 | uint64(t[s[2]])<<16 | uint64(t[s[3]])<<24 |
+			uint64(t[s[4]])<<32 | uint64(t[s[5]])<<40 | uint64(t[s[6]])<<48 | uint64(t[s[7]])<<56
+		binary.LittleEndian.PutUint64(dst[i:], v)
+	}
+	for i := n; i < len(src); i++ {
+		dst[i] = t[src[i]]
 	}
 }
 
@@ -161,15 +212,47 @@ func MulAddSlice(c byte, src, dst []byte) {
 		return
 	}
 	if c == 1 {
-		for i, s := range src {
-			dst[i] ^= s
-		}
+		XorSlice(src, dst)
 		return
 	}
-	logC := int(logTable[c])
-	for i, s := range src {
-		if s != 0 {
-			dst[i] ^= expTable[logC+int(logTable[s])]
-		}
+	mulAddSliceTable(&mulTables[c], src, dst)
+}
+
+// MulAddSliceTable sets dst[i] ^= t[src[i]] for a table obtained from
+// MulTable — MulAddSlice with the coefficient lookup hoisted out, the
+// form the ida encode rows use.
+func MulAddSliceTable(t *Table, src, dst []byte) {
+	if len(src) != len(dst) {
+		panic("gf256: MulAddSliceTable length mismatch")
+	}
+	mulAddSliceTable(t, src, dst)
+}
+
+func mulAddSliceTable(t *Table, src, dst []byte) {
+	n := len(src) &^ 7
+	for i := 0; i < n; i += 8 {
+		s := src[i : i+8 : i+8]
+		v := uint64(t[s[0]]) | uint64(t[s[1]])<<8 | uint64(t[s[2]])<<16 | uint64(t[s[3]])<<24 |
+			uint64(t[s[4]])<<32 | uint64(t[s[5]])<<40 | uint64(t[s[6]])<<48 | uint64(t[s[7]])<<56
+		binary.LittleEndian.PutUint64(dst[i:], binary.LittleEndian.Uint64(dst[i:i+8])^v)
+	}
+	for i := n; i < len(src); i++ {
+		dst[i] ^= t[src[i]]
+	}
+}
+
+// XorSlice sets dst[i] ^= src[i] for every i — the c == 1 accumulate,
+// eight bytes per XOR. dst and src must have the same length.
+func XorSlice(src, dst []byte) {
+	if len(src) != len(dst) {
+		panic("gf256: XorSlice length mismatch")
+	}
+	n := len(src) &^ 7
+	for i := 0; i < n; i += 8 {
+		binary.LittleEndian.PutUint64(dst[i:],
+			binary.LittleEndian.Uint64(dst[i:i+8])^binary.LittleEndian.Uint64(src[i:i+8]))
+	}
+	for i := n; i < len(src); i++ {
+		dst[i] ^= src[i]
 	}
 }

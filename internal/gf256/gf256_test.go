@@ -228,3 +228,174 @@ func BenchmarkMulAddSlice(b *testing.B) {
 		MulAddSlice(byte(i)|1, src, dst)
 	}
 }
+
+func TestMulTableExhaustive(t *testing.T) {
+	// The cached product tables are the foundation of every bulk kernel:
+	// verify all 65536 entries against the shift-and-reduce oracle.
+	for c := 0; c < 256; c++ {
+		tab := MulTable(byte(c))
+		for x := 0; x < 256; x++ {
+			if got, want := tab[x], MulSlow(byte(c), byte(x)); got != want {
+				t.Fatalf("MulTable(%#x)[%#x] = %#x, want %#x", c, x, got, want)
+			}
+		}
+	}
+}
+
+// slowMulSlice and slowMulAddSlice are the byte-at-a-time reference
+// implementations the vectorized kernels are checked against.
+func slowMulSlice(c byte, src, dst []byte) {
+	for i := range src {
+		dst[i] = MulSlow(c, src[i])
+	}
+}
+
+func slowMulAddSlice(c byte, src, dst []byte) {
+	for i := range src {
+		dst[i] ^= MulSlow(c, src[i])
+	}
+}
+
+// kernelLengths exercises the unrolled word loop and the byte tail:
+// empty, single byte, just below/at/above the 8-byte word, and larger
+// non-multiple-of-8 sizes.
+var kernelLengths = []int{0, 1, 2, 7, 8, 9, 15, 16, 17, 63, 64, 65, 255, 256, 1000}
+
+func TestMulSliceMatchesSlowKernel(t *testing.T) {
+	for _, n := range kernelLengths {
+		src := make([]byte, n)
+		for i := range src {
+			src[i] = byte(i*37 + 11)
+		}
+		for _, c := range []byte{0, 1, 2, 3, 0x1d, 0x80, 0xfe, 0xff} {
+			got := make([]byte, n)
+			want := make([]byte, n)
+			MulSlice(c, src, got)
+			slowMulSlice(c, src, want)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("MulSlice c=%#x len=%d i=%d: got %#x want %#x", c, n, i, got[i], want[i])
+				}
+			}
+			gotT := make([]byte, n)
+			MulSliceTable(MulTable(c), src, gotT)
+			for i := range gotT {
+				if gotT[i] != want[i] {
+					t.Fatalf("MulSliceTable c=%#x len=%d i=%d: got %#x want %#x", c, n, i, gotT[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestMulAddSliceMatchesSlowKernel(t *testing.T) {
+	for _, n := range kernelLengths {
+		src := make([]byte, n)
+		base := make([]byte, n)
+		for i := range src {
+			src[i] = byte(i*53 + 7)
+			base[i] = byte(i * 101)
+		}
+		for _, c := range []byte{0, 1, 2, 3, 0x1d, 0x80, 0xfe, 0xff} {
+			got := append([]byte(nil), base...)
+			want := append([]byte(nil), base...)
+			MulAddSlice(c, src, got)
+			slowMulAddSlice(c, src, want)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("MulAddSlice c=%#x len=%d i=%d: got %#x want %#x", c, n, i, got[i], want[i])
+				}
+			}
+			gotT := append([]byte(nil), base...)
+			MulAddSliceTable(MulTable(c), src, gotT)
+			for i := range gotT {
+				if gotT[i] != want[i] {
+					t.Fatalf("MulAddSliceTable c=%#x len=%d i=%d: got %#x want %#x", c, n, i, gotT[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestXorSliceMatchesSlowKernel(t *testing.T) {
+	for _, n := range kernelLengths {
+		src := make([]byte, n)
+		got := make([]byte, n)
+		want := make([]byte, n)
+		for i := range src {
+			src[i] = byte(i*29 + 3)
+			got[i] = byte(i * 5)
+			want[i] = got[i] ^ src[i]
+		}
+		XorSlice(src, got)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("XorSlice len=%d i=%d: got %#x want %#x", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMulSliceInPlaceAliasing(t *testing.T) {
+	// gfmat.Invert scales rows in place: MulSlice must tolerate dst == src.
+	for _, n := range kernelLengths {
+		src := make([]byte, n)
+		for i := range src {
+			src[i] = byte(i*19 + 1)
+		}
+		want := make([]byte, n)
+		slowMulSlice(0x57, src, want)
+		MulSlice(0x57, src, src)
+		for i := range src {
+			if src[i] != want[i] {
+				t.Fatalf("in-place MulSlice len=%d i=%d: got %#x want %#x", n, i, src[i], want[i])
+			}
+		}
+	}
+}
+
+// FuzzMulAddKernel cross-checks the word-unrolled kernels against the
+// MulSlow oracle on arbitrary inputs (coefficient, contents, length —
+// including lengths not a multiple of the 8-byte word).
+func FuzzMulAddKernel(f *testing.F) {
+	f.Add(byte(0x1d), []byte("seed input with odd length!"))
+	f.Add(byte(0), []byte{})
+	f.Add(byte(1), []byte{0xff})
+	f.Fuzz(func(t *testing.T, c byte, src []byte) {
+		dst := make([]byte, len(src))
+		for i := range dst {
+			dst[i] = byte(i * 17)
+		}
+		want := append([]byte(nil), dst...)
+		slowMulAddSlice(c, src, want)
+		MulAddSlice(c, src, dst)
+		for i := range dst {
+			if dst[i] != want[i] {
+				t.Fatalf("MulAddSlice c=%#x len=%d i=%d: got %#x want %#x", c, len(src), i, dst[i], want[i])
+			}
+		}
+		got2 := make([]byte, len(src))
+		want2 := make([]byte, len(src))
+		MulSlice(c, src, got2)
+		slowMulSlice(c, src, want2)
+		for i := range got2 {
+			if got2[i] != want2[i] {
+				t.Fatalf("MulSlice c=%#x len=%d i=%d: got %#x want %#x", c, len(src), i, got2[i], want2[i])
+			}
+		}
+	})
+}
+
+func BenchmarkMulAddSliceTable(b *testing.B) {
+	src := make([]byte, 4096)
+	dst := make([]byte, 4096)
+	for i := range src {
+		src[i] = byte(i * 31)
+	}
+	tab := MulTable(0x8e)
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulAddSliceTable(tab, src, dst)
+	}
+}

@@ -223,3 +223,38 @@ func Vandermonde(n, m int) *Matrix {
 	}
 	return v
 }
+
+// SystematicVandermonde returns V·inv(V[:m]) for the n×m Vandermonde
+// matrix V: the top m×m block becomes the identity while every m×m
+// row-submatrix stays invertible (each is a submatrix of V multiplied by
+// the fixed invertible inv(V[:m])). A dispersal matrix in this form makes
+// the first m coded blocks verbatim copies of the source blocks, so
+// encoding costs only the n−m redundant rows and a fault-free decode is a
+// straight copy — the standard construction of production Reed–Solomon
+// codecs, with the §2.1 any-m-of-n property intact.
+func SystematicVandermonde(n, m int) *Matrix {
+	v := Vandermonde(n, m)
+	idx := make([]int, m)
+	for i := range idx {
+		idx[i] = i
+	}
+	inv, err := v.SelectRows(idx).Invert()
+	if err != nil {
+		// The top block of a Vandermonde matrix with distinct nodes is
+		// always invertible.
+		panic("gfmat: Vandermonde top block singular: " + err.Error())
+	}
+	s := v.Mul(inv)
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			want := byte(0)
+			if i == j {
+				want = 1
+			}
+			if s.At(i, j) != want {
+				panic("gfmat: systematic top block is not the identity")
+			}
+		}
+	}
+	return s
+}

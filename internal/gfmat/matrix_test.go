@@ -254,3 +254,40 @@ func BenchmarkMul32(b *testing.B) {
 		x.Mul(y)
 	}
 }
+
+func TestSystematicVandermondeTopIdentity(t *testing.T) {
+	for _, p := range []struct{ n, m int }{{1, 1}, {4, 2}, {10, 5}, {12, 8}, {40, 20}} {
+		s := SystematicVandermonde(p.n, p.m)
+		if s.Rows() != p.n || s.Cols() != p.m {
+			t.Fatalf("(%d,%d): got %dx%d", p.n, p.m, s.Rows(), s.Cols())
+		}
+		for i := 0; i < p.m; i++ {
+			for j := 0; j < p.m; j++ {
+				want := byte(0)
+				if i == j {
+					want = 1
+				}
+				if s.At(i, j) != want {
+					t.Fatalf("(%d,%d): top block not identity at (%d,%d)", p.n, p.m, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestSystematicVandermondeSubmatricesInvertible(t *testing.T) {
+	// The §2.1 property must survive the systematic transformation:
+	// every m-row submatrix is invertible. Exhaustive over a small case.
+	const n, m = 8, 3
+	s := SystematicVandermonde(n, m)
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			for c := b + 1; c < n; c++ {
+				sub := s.SelectRows([]int{a, b, c})
+				if _, err := sub.Invert(); err != nil {
+					t.Fatalf("submatrix {%d,%d,%d} singular", a, b, c)
+				}
+			}
+		}
+	}
+}

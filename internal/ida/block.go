@@ -44,50 +44,87 @@ var (
 	ErrInconsistent = errors.New("ida: blocks disagree on file metadata")
 )
 
+// WireSize returns the number of bytes Marshal produces for the block:
+// header plus payload.
+func (b *Block) WireSize() int { return headerSize + len(b.Payload) }
+
 // Marshal encodes the block into a self-contained byte string with a
 // CRC-32 covering header and payload, allowing clients to detect blocks
 // clobbered by transmission errors (the paper's §3.2 error model: an
 // error renders the entire block unreadable).
 func (b *Block) Marshal() []byte {
-	buf := make([]byte, headerSize+len(b.Payload))
+	return b.MarshalInto(nil)
+}
+
+// MarshalInto appends the wire form of the block to dst and returns the
+// extended slice — Marshal without the per-call allocation when dst has
+// WireSize spare capacity. Pass dst[:0] of a reused buffer to overwrite
+// in place; the block itself is not retained.
+func (b *Block) MarshalInto(dst []byte) []byte {
+	start := len(dst)
+	dst = append(dst, make([]byte, headerSize)...)
+	buf := dst[start:]
 	binary.BigEndian.PutUint32(buf[0:], b.FileID)
 	binary.BigEndian.PutUint16(buf[4:], b.Seq)
 	binary.BigEndian.PutUint16(buf[6:], b.M)
 	binary.BigEndian.PutUint16(buf[8:], b.N)
 	binary.BigEndian.PutUint32(buf[10:], b.Length)
 	binary.BigEndian.PutUint32(buf[14:], uint32(len(b.Payload)))
-	copy(buf[headerSize:], b.Payload)
+	dst = append(dst, b.Payload...)
+	buf = dst[start:]
 	crc := crc32.ChecksumIEEE(buf[:headerSize-4])
 	crc = crc32.Update(crc, crc32.IEEETable, buf[headerSize:])
 	binary.BigEndian.PutUint32(buf[18:], crc)
-	return buf
+	return dst
 }
 
 // Unmarshal decodes a block previously encoded with Marshal, verifying
-// its checksum. A corrupted block yields ErrBadChecksum.
+// its checksum. A corrupted block yields ErrBadChecksum. The returned
+// block owns a fresh copy of the payload; use UnmarshalInto to decode
+// into a reusable block.
 func Unmarshal(data []byte) (*Block, error) {
+	b := new(Block)
+	if err := UnmarshalInto(data, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// UnmarshalInto decodes a block previously encoded with Marshal into b,
+// verifying its checksum. b's existing Payload backing array is reused
+// when large enough, so a receive loop decoding into the same scratch
+// block runs allocation-free. The payload is copied out of data; b does
+// not alias it.
+func UnmarshalInto(data []byte, b *Block) error {
 	if len(data) < headerSize {
-		return nil, ErrShortBlock
+		return ErrShortBlock
 	}
 	payloadLen := binary.BigEndian.Uint32(data[14:])
 	if len(data) != headerSize+int(payloadLen) {
-		return nil, fmt.Errorf("ida: block length %d does not match declared payload %d: %w",
+		return fmt.Errorf("ida: block length %d does not match declared payload %d: %w",
 			len(data), payloadLen, ErrShortBlock)
 	}
 	crc := crc32.ChecksumIEEE(data[:headerSize-4])
 	crc = crc32.Update(crc, crc32.IEEETable, data[headerSize:])
 	if crc != binary.BigEndian.Uint32(data[18:]) {
-		return nil, ErrBadChecksum
+		return ErrBadChecksum
 	}
-	b := &Block{
-		FileID:  binary.BigEndian.Uint32(data[0:]),
-		Seq:     binary.BigEndian.Uint16(data[4:]),
-		M:       binary.BigEndian.Uint16(data[6:]),
-		N:       binary.BigEndian.Uint16(data[8:]),
-		Length:  binary.BigEndian.Uint32(data[10:]),
-		Payload: append([]byte(nil), data[headerSize:]...),
-	}
-	return b, nil
+	b.FileID = binary.BigEndian.Uint32(data[0:])
+	b.Seq = binary.BigEndian.Uint16(data[4:])
+	b.M = binary.BigEndian.Uint16(data[6:])
+	b.N = binary.BigEndian.Uint16(data[8:])
+	b.Length = binary.BigEndian.Uint32(data[10:])
+	b.Payload = append(b.Payload[:0], data[headerSize:]...)
+	return nil
+}
+
+// Clone returns a deep copy of the block (payload included) — what a
+// client stores when the block it decoded into scratch turns out to be
+// worth keeping.
+func (b *Block) Clone() *Block {
+	c := *b
+	c.Payload = append([]byte(nil), b.Payload...)
+	return &c
 }
 
 // Validate checks internal consistency of the block metadata.

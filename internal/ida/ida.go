@@ -1,11 +1,13 @@
 package ida
 
 import (
+	"container/list"
 	"errors"
 	"fmt"
 	"sort"
 	"sync"
 
+	"pinbcast/internal/gf256"
 	"pinbcast/internal/gfmat"
 )
 
@@ -13,36 +15,114 @@ import (
 // files are split into m source blocks and dispersed into n ≥ m coded
 // blocks, any m of which reconstruct the file. A Codec is safe for
 // concurrent use; reconstruction inverse matrices are cached per row
-// subset, the precomputation suggested in §2.1 of the paper.
+// subset in a bounded LRU, the precomputation suggested in §2.1 of the
+// paper.
+//
+// The dispersal matrix is systematic (gfmat.SystematicVandermonde): the
+// first m coded blocks are verbatim copies of the source blocks, so
+// encoding computes only the n−m redundant rows and a decode from the
+// systematic prefix is a straight copy, while every m-row submatrix
+// remains invertible — the any-m-of-n property of §2.1 is unchanged.
+//
+// Disperse and Reconstruct allocate their results; the streaming
+// DisperseInto and ReconstructInto variants write into caller-owned
+// buffers so steady-state encode/decode loops run allocation-free.
 type Codec struct {
 	m, n int
-	mat  *gfmat.Matrix // n×m dispersal matrix [x_ij]
+	mat  *gfmat.Matrix // n×m systematic dispersal matrix [x_ij]
+
+	// encTables[i][j] is the cached product table of mat coefficient
+	// (m+i, j): the encode tables of redundant row m+i. Precomputed at
+	// construction so encoding never touches the log/exp tables.
+	encTables [][]*gf256.Table
 
 	mu       sync.Mutex
-	invCache map[string]*gfmat.Matrix // key: sorted row indices
+	invCache map[string]*list.Element // key: packed sorted row indices
+	invLRU   list.List                // front = most recent; values are *invEntry
+	invLimit int
 }
+
+// invEntry is one cached reconstruction inverse with its LRU key.
+type invEntry struct {
+	key string
+	inv *gfmat.Matrix
+}
+
+// DefaultInverseCacheLimit bounds the per-codec reconstruction-inverse
+// cache. Under client churn every distinct received row subset is one
+// entry; the LRU keeps the hot subsets and evicts the rest instead of
+// growing without bound.
+const DefaultInverseCacheLimit = 128
 
 // Dispersal parameter errors.
 var (
 	ErrBadParams      = errors.New("ida: need 1 ≤ m ≤ n ≤ 256")
+	ErrBadDst         = errors.New("ida: destination shape mismatch")
 	ErrNotEnough      = errors.New("ida: fewer than m distinct blocks available")
 	ErrEmptyFile      = errors.New("ida: cannot disperse an empty file")
 	ErrWrongBlockSize = errors.New("ida: blocks have inconsistent sizes")
 )
 
 // NewCodec returns a Codec dispersing into n blocks with reconstruction
-// threshold m. The dispersal matrix is Vandermonde, so every m-row
-// submatrix is invertible.
+// threshold m. The dispersal matrix is systematic Vandermonde, so every
+// m-row submatrix is invertible.
 func NewCodec(m, n int) (*Codec, error) {
 	if m < 1 || n < m || n > 256 {
 		return nil, fmt.Errorf("%w (m=%d, n=%d)", ErrBadParams, m, n)
 	}
-	return &Codec{
+	c := &Codec{
 		m:        m,
 		n:        n,
-		mat:      gfmat.Vandermonde(n, m),
-		invCache: make(map[string]*gfmat.Matrix),
-	}, nil
+		mat:      gfmat.SystematicVandermonde(n, m),
+		invCache: make(map[string]*list.Element),
+		invLimit: DefaultInverseCacheLimit,
+	}
+	c.encTables = make([][]*gf256.Table, n-m)
+	for i := range c.encTables {
+		row := c.mat.Row(m + i)
+		tabs := make([]*gf256.Table, m)
+		for j, coef := range row {
+			tabs[j] = gf256.MulTable(coef)
+		}
+		c.encTables[i] = tabs
+	}
+	return c, nil
+}
+
+// codecs is the process-wide registry of shared codecs, keyed by (m, n).
+// The dispersal matrix, encode tables and inverse cache for a parameter
+// pair are immutable or internally synchronized, so one codec serves
+// every caller — and the §2.1 inverse cache actually accumulates across
+// retrievals instead of dying with a throwaway codec.
+var (
+	codecsMu sync.RWMutex
+	codecs   = make(map[[2]int]*Codec)
+)
+
+// Shared returns the process-wide codec for (m, n), constructing it on
+// first use. Codecs are safe for concurrent use, so sharing them
+// amortizes matrix construction, encode-table setup and the inverse
+// cache across every file with the same dispersal parameters.
+func Shared(m, n int) (*Codec, error) {
+	key := [2]int{m, n}
+	codecsMu.RLock()
+	c := codecs[key]
+	codecsMu.RUnlock()
+	if c != nil {
+		return c, nil
+	}
+	c, err := NewCodec(m, n)
+	if err != nil {
+		return nil, err
+	}
+	codecsMu.Lock()
+	if prev := codecs[key]; prev != nil {
+		c = prev
+	} else {
+		codecs[key] = c
+	}
+	codecsMu.Unlock()
+	return c, nil
 }
 
 // M returns the reconstruction threshold.
@@ -57,38 +137,103 @@ func (c *Codec) shardLen(dataLen int) int {
 	return (dataLen + c.m - 1) / c.m
 }
 
+// ShardLen returns the payload length of each dispersed block for a
+// file of dataLen bytes.
+func (c *Codec) ShardLen(dataLen int) int { return c.shardLen(dataLen) }
+
+// tailPool recycles the zero-padded scratch copy of the final source
+// block (the only block DisperseInto cannot encode from the caller's
+// data in place). It stores *[]byte so Get/Put never box a slice header.
+var tailPool = sync.Pool{New: func() any { b := []byte(nil); return &b }}
+
 // Disperse splits data into m source blocks (zero-padding the tail) and
 // returns the n dispersed payloads. Payload i is Σⱼ mat[i][j]·sourceⱼ,
-// the dispersal operation of Figure 3.
+// the dispersal operation of Figure 3. The payloads are freshly
+// allocated; use DisperseInto to reuse buffers.
 func (c *Codec) Disperse(data []byte) ([][]byte, error) {
+	return c.DisperseInto(data, nil)
+}
+
+// DisperseInto disperses data into dst, reusing dst's backing arrays
+// when they have capacity, and returns dst resliced to the n payloads
+// of shardLen(len(data)) bytes each. A nil dst (or one with too little
+// capacity) grows as needed, so steady-state callers that pass the
+// previous cycle's result back in disperse with zero allocations.
+//
+// Ownership: the returned payload slices belong to the caller; the
+// codec retains no reference to them or to data. Payload j < m aliases
+// nothing (it is a copy of source block j), so mutating data afterwards
+// does not corrupt the shards.
+func (c *Codec) DisperseInto(data []byte, dst [][]byte) ([][]byte, error) {
 	if len(data) == 0 {
 		return nil, ErrEmptyFile
 	}
 	l := c.shardLen(len(data))
-	src := make([][]byte, c.m)
-	for j := range src {
-		blk := make([]byte, l)
-		start := j * l
-		if start < len(data) {
-			copy(blk, data[start:min(start+l, len(data))])
+	if cap(dst) >= c.n {
+		dst = dst[:c.n]
+	} else {
+		grown := make([][]byte, c.n)
+		copy(grown, dst)
+		dst = grown
+	}
+	for i := range dst {
+		if cap(dst[i]) >= l {
+			dst[i] = dst[i][:l]
+		} else {
+			dst[i] = make([]byte, l)
 		}
-		src[j] = blk
 	}
-	out := make([][]byte, c.n)
-	for i := 0; i < c.n; i++ {
-		out[i] = encodeRow(c.mat.Row(i), src, l)
-	}
-	return out, nil
-}
 
-func encodeRow(coef []byte, src [][]byte, l int) []byte {
-	acc := make([]byte, l)
-	for j, cj := range coef {
-		if cj != 0 {
-			mulAdd(cj, src[j], acc)
+	// Source block j is data[j*l:(j+1)*l]. At most one block — the one
+	// holding the end of data — is partial and needs a zero-padded
+	// scratch copy; blocks past it (short files) are entirely zero and
+	// contribute nothing to any encode row.
+	full := len(data) / l // number of complete source blocks in data
+	partial := -1
+	tp := tailPool.Get().(*[]byte)
+	tail := *tp
+	if full*l < len(data) {
+		partial = full
+		if cap(tail) >= l {
+			tail = tail[:l]
+		} else {
+			tail = make([]byte, l)
+		}
+		n := copy(tail, data[full*l:])
+		clear(tail[n:])
+	}
+	src := func(j int) []byte { // nil = all-zero block
+		switch {
+		case j < full:
+			return data[j*l : (j+1)*l]
+		case j == partial:
+			return tail
+		}
+		return nil
+	}
+
+	// Systematic prefix: payload j = source block j, a straight copy.
+	for j := 0; j < c.m; j++ {
+		if s := src(j); s != nil {
+			copy(dst[j], s)
+		} else {
+			clear(dst[j])
 		}
 	}
-	return acc
+	// Redundant rows: payload m+i = Σⱼ mat[m+i][j]·sourceⱼ, via the
+	// precomputed per-coefficient product tables.
+	for i, tabs := range c.encTables {
+		out := dst[c.m+i]
+		clear(out)
+		for j, tab := range tabs {
+			if s := src(j); s != nil {
+				gf256.MulAddSliceTable(tab, s, out)
+			}
+		}
+	}
+	*tp = tail[:0]
+	tailPool.Put(tp)
+	return dst, nil
 }
 
 // Shard pairs a dispersed payload with its row index in the dispersal
@@ -98,81 +243,172 @@ type Shard struct {
 	Data []byte
 }
 
+// reconScratch is the reusable working state of one reconstruction:
+// per-sequence payload lookup, the selected sequence numbers, and their
+// payload rows.
+type reconScratch struct {
+	rowOf [][]byte // indexed by seq; nil = not received
+	seqs  []int
+	rows  [][]byte
+}
+
+var reconPool = sync.Pool{New: func() any { return new(reconScratch) }}
+
 // Reconstruct recovers the original file of dataLen bytes from any m
 // shards with distinct sequence numbers. Extra shards beyond m are
-// ignored (the first m distinct, in ascending Seq order, are used).
+// ignored (the first m distinct, in ascending Seq order, are used). The
+// result is freshly allocated; use ReconstructInto to reuse a buffer.
 func (c *Codec) Reconstruct(shards []Shard, dataLen int) ([]byte, error) {
+	return c.ReconstructInto(shards, dataLen, nil)
+}
+
+// ReconstructInto recovers the original file of dataLen bytes into dst,
+// reusing dst's backing array when it has capacity for the padded file
+// (m·shardLen bytes), and returns the first dataLen bytes. A nil or
+// too-small dst grows as needed.
+//
+// Ownership: the returned slice aliases dst's backing array (or the
+// grown replacement); the codec retains no reference to it or to the
+// shard payloads.
+func (c *Codec) ReconstructInto(shards []Shard, dataLen int, dst []byte) ([]byte, error) {
 	if dataLen <= 0 {
 		return nil, ErrEmptyFile
 	}
-	// Deduplicate by sequence number, ascending.
-	bySeq := make(map[int][]byte, len(shards))
+	sc := reconPool.Get().(*reconScratch)
+	defer func() {
+		// Drop the shard-payload references before pooling so an idle
+		// scratch never pins caller buffers. This also establishes the
+		// invariant the Get path relies on: every element within the
+		// slices' lengths is nil (writes only ever land below len, and
+		// this clear covers len).
+		clear(sc.rowOf)
+		clear(sc.rows)
+		reconPool.Put(sc)
+	}()
+	if cap(sc.rowOf) >= c.n {
+		sc.rowOf = sc.rowOf[:c.n]
+	} else {
+		sc.rowOf = make([][]byte, c.n)
+	}
+	sc.seqs = sc.seqs[:0]
+	// Deduplicate by sequence number (first shard carrying a seq wins;
+	// duplicates carry equal data), ascending.
 	for _, s := range shards {
 		if s.Seq < 0 || s.Seq >= c.n {
 			return nil, fmt.Errorf("ida: shard seq %d out of range [0,%d)", s.Seq, c.n)
 		}
-		if _, dup := bySeq[s.Seq]; !dup {
-			bySeq[s.Seq] = s.Data
+		if sc.rowOf[s.Seq] == nil {
+			sc.rowOf[s.Seq] = s.Data
+			sc.seqs = append(sc.seqs, s.Seq)
 		}
 	}
-	if len(bySeq) < c.m {
-		return nil, fmt.Errorf("%w: have %d, need %d", ErrNotEnough, len(bySeq), c.m)
+	if len(sc.seqs) < c.m {
+		return nil, fmt.Errorf("%w: have %d, need %d", ErrNotEnough, len(sc.seqs), c.m)
 	}
-	seqs := make([]int, 0, len(bySeq))
-	for s := range bySeq {
-		seqs = append(seqs, s)
-	}
-	sort.Ints(seqs)
-	seqs = seqs[:c.m]
+	sort.Ints(sc.seqs)
+	sc.seqs = sc.seqs[:c.m]
 
 	l := c.shardLen(dataLen)
-	rows := make([][]byte, c.m)
-	for i, s := range seqs {
-		if len(bySeq[s]) != l {
+	if cap(sc.rows) >= c.m {
+		sc.rows = sc.rows[:c.m]
+	} else {
+		sc.rows = make([][]byte, c.m)
+	}
+	for i, seq := range sc.seqs {
+		row := sc.rowOf[seq]
+		if len(row) != l {
 			return nil, fmt.Errorf("%w: shard %d has %d bytes, want %d",
-				ErrWrongBlockSize, s, len(bySeq[s]), l)
+				ErrWrongBlockSize, seq, len(row), l)
 		}
-		rows[i] = bySeq[s]
+		sc.rows[i] = row
 	}
 
-	inv, err := c.inverse(seqs)
+	inv, err := c.inverse(sc.seqs)
 	if err != nil {
 		return nil, err
 	}
+	padded := c.m * l
+	if cap(dst) >= padded {
+		dst = dst[:padded]
+	} else {
+		dst = make([]byte, padded)
+	}
 	// Reconstruction operation of Figure 3: source_j = Σᵢ inv[j][i]·rowᵢ.
-	out := make([]byte, c.m*l)
+	// Rows of the inverse addressing received systematic shards are unit
+	// vectors, so those source blocks reduce to the single c==1 XOR-copy
+	// fast path inside MulAddSlice; only genuinely missing blocks pay
+	// the full accumulation.
 	for j := 0; j < c.m; j++ {
-		dst := out[j*l : (j+1)*l]
+		out := dst[j*l : (j+1)*l]
+		clear(out)
 		for i := 0; i < c.m; i++ {
 			if f := inv.At(j, i); f != 0 {
-				mulAdd(f, rows[i], dst)
+				gf256.MulAddSlice(f, sc.rows[i], out)
 			}
 		}
 	}
-	return out[:dataLen], nil
+	return dst[:dataLen], nil
 }
 
 // inverse returns the inverse of the submatrix of the dispersal matrix
-// selected by rows seqs (sorted ascending), caching the result. This is
-// the precomputed [y_ij] of §2.1.
+// selected by rows seqs (sorted ascending), consulting and maintaining
+// the bounded LRU cache. This is the precomputed [y_ij] of §2.1.
 func (c *Codec) inverse(seqs []int) (*gfmat.Matrix, error) {
-	key := subsetKey(seqs)
+	// Pack the subset key on the stack; map lookups with a string(...)
+	// conversion of a byte slice do not allocate, so a cache hit is
+	// allocation-free.
+	var kb [512]byte
+	key := packSubsetKey(kb[:0], seqs)
+
 	c.mu.Lock()
-	inv, ok := c.invCache[key]
-	c.mu.Unlock()
-	if ok {
+	if el, ok := c.invCache[string(key)]; ok {
+		c.invLRU.MoveToFront(el)
+		inv := el.Value.(*invEntry).inv
+		c.mu.Unlock()
 		return inv, nil
 	}
+	c.mu.Unlock()
+
 	sub := c.mat.SelectRows(seqs)
 	inv, err := sub.Invert()
 	if err != nil {
-		// Cannot happen with a Vandermonde matrix; guard anyway.
+		// Cannot happen with a systematic Vandermonde matrix; guard anyway.
 		return nil, fmt.Errorf("ida: dispersal submatrix singular: %w", err)
 	}
+
 	c.mu.Lock()
-	c.invCache[key] = inv
+	if el, ok := c.invCache[string(key)]; ok {
+		// Raced with another reconstruction of the same subset.
+		c.invLRU.MoveToFront(el)
+		inv = el.Value.(*invEntry).inv
+	} else {
+		ks := string(key)
+		c.invCache[ks] = c.invLRU.PushFront(&invEntry{key: ks, inv: inv})
+		for c.invLRU.Len() > c.invLimit {
+			oldest := c.invLRU.Back()
+			c.invLRU.Remove(oldest)
+			delete(c.invCache, oldest.Value.(*invEntry).key)
+		}
+	}
 	c.mu.Unlock()
 	return inv, nil
+}
+
+// SetInverseCacheLimit bounds the reconstruction-inverse LRU to at most
+// limit entries (minimum 1), evicting immediately if over. The default
+// is DefaultInverseCacheLimit.
+func (c *Codec) SetInverseCacheLimit(limit int) {
+	if limit < 1 {
+		limit = 1
+	}
+	c.mu.Lock()
+	c.invLimit = limit
+	for c.invLRU.Len() > c.invLimit {
+		oldest := c.invLRU.Back()
+		c.invLRU.Remove(oldest)
+		delete(c.invCache, oldest.Value.(*invEntry).key)
+	}
+	c.mu.Unlock()
 }
 
 // CachedInverses reports how many reconstruction matrices are cached.
@@ -182,18 +418,21 @@ func (c *Codec) CachedInverses() int {
 	return len(c.invCache)
 }
 
-func subsetKey(seqs []int) string {
-	b := make([]byte, 0, 2*len(seqs))
+// packSubsetKey appends the 2-byte big-endian encoding of each sequence
+// number to b. With b backed by a stack array the packing allocates
+// nothing.
+func packSubsetKey(b []byte, seqs []int) []byte {
 	for _, s := range seqs {
 		b = append(b, byte(s>>8), byte(s))
 	}
-	return string(b)
+	return b
 }
 
 // DisperseFile disperses data into n self-identifying blocks for the
-// given file ID, with reconstruction threshold m.
+// given file ID, with reconstruction threshold m. The codec is the
+// process-wide shared one for (m, n).
 func DisperseFile(fileID uint32, data []byte, m, n int) ([]*Block, error) {
-	c, err := NewCodec(m, n)
+	c, err := Shared(m, n)
 	if err != nil {
 		return nil, err
 	}
@@ -217,7 +456,8 @@ func DisperseFile(fileID uint32, data []byte, m, n int) ([]*Block, error) {
 
 // ReconstructFile recovers a file from self-identifying blocks. All
 // blocks must agree on FileID, M, N and Length; at least M blocks with
-// distinct sequence numbers are required.
+// distinct sequence numbers are required. The codec is the process-wide
+// shared one, so its §2.1 inverse cache persists across retrievals.
 func ReconstructFile(blocks []*Block) ([]byte, error) {
 	if len(blocks) == 0 {
 		return nil, ErrNotEnough
@@ -233,7 +473,7 @@ func ReconstructFile(blocks []*Block) ([]byte, error) {
 		}
 		shards = append(shards, Shard{Seq: int(b.Seq), Data: b.Payload})
 	}
-	c, err := NewCodec(int(ref.M), int(ref.N))
+	c, err := Shared(int(ref.M), int(ref.N))
 	if err != nil {
 		return nil, err
 	}

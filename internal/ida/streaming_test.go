@@ -1,0 +1,323 @@
+package ida
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestSystematicPrefix pins the systematic property the data plane's
+// throughput rests on: the first m payloads are the source blocks
+// verbatim, so a fault-free decode is a straight copy.
+func TestSystematicPrefix(t *testing.T) {
+	c, err := NewCodec(4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 4*10)
+	for i := range data {
+		data[i] = byte(i + 1)
+	}
+	payloads, err := c.Disperse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 4; j++ {
+		if !bytes.Equal(payloads[j], data[j*10:(j+1)*10]) {
+			t.Fatalf("systematic payload %d differs from source block", j)
+		}
+	}
+}
+
+// TestDisperseIntoMatchesDisperse asserts the streaming API is
+// byte-identical to the allocate-per-call path across shard counts and
+// lengths, including 0, 1, and non-multiple-of-8 sizes, and that buffer
+// reuse across calls cannot leak bytes between inputs.
+func TestDisperseIntoMatchesDisperse(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	params := []struct{ m, n int }{{1, 1}, {1, 4}, {2, 3}, {3, 6}, {5, 10}, {7, 13}, {8, 8}}
+	lengths := []int{1, 2, 3, 7, 8, 9, 15, 63, 64, 65, 100, 1000, 4093}
+	for _, p := range params {
+		c, err := NewCodec(p.m, p.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var reused [][]byte
+		for _, l := range lengths {
+			data := make([]byte, l)
+			rng.Read(data)
+			want, err := c.Disperse(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reused, err = c.DisperseInto(data, reused)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(reused) != len(want) {
+				t.Fatalf("(%d,%d) len %d: got %d payloads, want %d", p.m, p.n, l, len(reused), len(want))
+			}
+			for i := range want {
+				if !bytes.Equal(reused[i], want[i]) {
+					t.Fatalf("(%d,%d) len %d: payload %d differs between DisperseInto and Disperse",
+						p.m, p.n, l, i)
+				}
+			}
+		}
+	}
+}
+
+// TestDisperseIntoZeroLength mirrors Disperse's empty-file contract.
+func TestDisperseIntoZeroLength(t *testing.T) {
+	c, _ := NewCodec(2, 4)
+	if _, err := c.DisperseInto(nil, nil); err == nil {
+		t.Fatal("DisperseInto(nil) succeeded")
+	}
+	if _, err := c.DisperseInto([]byte{}, make([][]byte, 4)); err == nil {
+		t.Fatal("DisperseInto(empty) succeeded")
+	}
+}
+
+// TestReconstructIntoMatchesReconstruct drives both decode paths over
+// random fault patterns (random m-subsets of surviving shards) and
+// asserts identical output, with the destination buffer reused across
+// iterations.
+func TestReconstructIntoMatchesReconstruct(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	params := []struct{ m, n int }{{1, 3}, {2, 4}, {3, 6}, {5, 10}, {8, 12}}
+	lengths := []int{1, 7, 8, 9, 64, 65, 257, 4096}
+	for _, p := range params {
+		c, err := NewCodec(p.m, p.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var dst []byte
+		for _, l := range lengths {
+			data := make([]byte, l)
+			rng.Read(data)
+			payloads, err := c.Disperse(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for trial := 0; trial < 8; trial++ {
+				idx := rng.Perm(p.n)[:p.m]
+				shards := make([]Shard, p.m)
+				for i, s := range idx {
+					shards[i] = Shard{Seq: s, Data: payloads[s]}
+				}
+				want, err := c.Reconstruct(shards, l)
+				if err != nil {
+					t.Fatal(err)
+				}
+				dst, err = c.ReconstructInto(shards, l, dst[:0])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(dst, want) {
+					t.Fatalf("(%d,%d) len %d subset %v: ReconstructInto differs from Reconstruct",
+						p.m, p.n, l, idx)
+				}
+				if !bytes.Equal(dst, data) {
+					t.Fatalf("(%d,%d) len %d subset %v: wrong data", p.m, p.n, l, idx)
+				}
+			}
+		}
+	}
+}
+
+// TestInverseCacheLRUEviction demonstrates the bound under subset churn:
+// with a limit of 2, touching a third distinct subset evicts the least
+// recently used one, and CachedInverses never exceeds the limit.
+func TestInverseCacheLRUEviction(t *testing.T) {
+	c, err := NewCodec(2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetInverseCacheLimit(2)
+	data := []byte("bounded inverse cache under client churn")
+	payloads, err := c.Disperse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recon := func(a, b int) {
+		t.Helper()
+		shards := []Shard{{Seq: a, Data: payloads[a]}, {Seq: b, Data: payloads[b]}}
+		got, err := c.ReconstructInto(shards, len(data), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("subset {%d,%d}: wrong data", a, b)
+		}
+	}
+	recon(0, 1) // subset A
+	recon(2, 3) // subset B
+	if got := c.CachedInverses(); got != 2 {
+		t.Fatalf("cache size = %d, want 2", got)
+	}
+	recon(0, 1) // touch A: B becomes LRU
+	recon(4, 5) // subset C evicts B
+	if got := c.CachedInverses(); got != 2 {
+		t.Fatalf("cache size after churn = %d, want 2", got)
+	}
+	// Every subset still reconstructs correctly whether cached or not,
+	// and the cache stays at its bound through sustained churn.
+	for trial := 0; trial < 20; trial++ {
+		a := trial % 5
+		recon(a, a+1)
+		if got := c.CachedInverses(); got > 2 {
+			t.Fatalf("cache size %d exceeds limit 2", got)
+		}
+	}
+}
+
+// TestSetInverseCacheLimitShrinks evicts immediately when the limit
+// drops below the current population.
+func TestSetInverseCacheLimitShrinks(t *testing.T) {
+	c, _ := NewCodec(2, 8)
+	data := []byte("shrink the cache")
+	payloads, _ := c.Disperse(data)
+	for a := 0; a < 6; a += 2 {
+		shards := []Shard{{Seq: a, Data: payloads[a]}, {Seq: a + 1, Data: payloads[a+1]}}
+		if _, err := c.Reconstruct(shards, len(data)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.CachedInverses(); got != 3 {
+		t.Fatalf("cache size = %d, want 3", got)
+	}
+	c.SetInverseCacheLimit(1)
+	if got := c.CachedInverses(); got != 1 {
+		t.Fatalf("cache size after shrink = %d, want 1", got)
+	}
+}
+
+// TestSharedCodecIdentity: Shared returns one codec per (m, n), so the
+// §2.1 inverse cache accumulates across retrievals.
+func TestSharedCodecIdentity(t *testing.T) {
+	a, err := Shared(3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Shared(3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("Shared(3,7) returned distinct codecs")
+	}
+	if _, err := Shared(0, 7); err == nil {
+		t.Fatal("Shared(0,7) succeeded")
+	}
+}
+
+// TestMarshalIntoRoundTrip checks MarshalInto against Marshal and
+// UnmarshalInto against Unmarshal, including scratch-payload reuse.
+func TestMarshalIntoRoundTrip(t *testing.T) {
+	blk := &Block{FileID: 42, Seq: 3, M: 2, N: 5, Length: 11, Payload: []byte("hello w")}
+	wire := blk.Marshal()
+	if got := blk.MarshalInto(nil); !bytes.Equal(got, wire) {
+		t.Fatal("MarshalInto(nil) differs from Marshal")
+	}
+	if got, want := blk.WireSize(), len(wire); got != want {
+		t.Fatalf("WireSize = %d, want %d", got, want)
+	}
+	// Appending after a prefix leaves the prefix intact.
+	buf := append([]byte("prefix"), 0)
+	buf = buf[:6]
+	out := blk.MarshalInto(buf)
+	if !bytes.Equal(out[:6], []byte("prefix")) || !bytes.Equal(out[6:], wire) {
+		t.Fatal("MarshalInto(prefix) corrupted output")
+	}
+	// Reused buffer: second marshal overwrites the first.
+	buf2 := blk.MarshalInto(nil)
+	blk2 := &Block{FileID: 7, Seq: 1, M: 1, N: 2, Length: 3, Payload: []byte("xyz")}
+	buf2 = blk2.MarshalInto(buf2[:0])
+	got2, err := Unmarshal(buf2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.FileID != 7 || !bytes.Equal(got2.Payload, []byte("xyz")) {
+		t.Fatal("reused-buffer marshal round trip failed")
+	}
+
+	var scratch Block
+	scratch.Payload = make([]byte, 0, 64)
+	if err := UnmarshalInto(wire, &scratch); err != nil {
+		t.Fatal(err)
+	}
+	if scratch.FileID != 42 || scratch.Seq != 3 || scratch.M != 2 || scratch.N != 5 ||
+		scratch.Length != 11 || !bytes.Equal(scratch.Payload, blk.Payload) {
+		t.Fatalf("UnmarshalInto mismatch: %+v", scratch)
+	}
+	// The scratch payload must be a copy, not an alias of the wire buffer.
+	wire[headerSize] ^= 0xff
+	if !bytes.Equal(scratch.Payload, blk.Payload) {
+		t.Fatal("UnmarshalInto aliased the wire buffer")
+	}
+	clone := scratch.Clone()
+	scratch.Payload[0] ^= 0xff
+	if bytes.Equal(clone.Payload, scratch.Payload) {
+		t.Fatal("Clone aliased the scratch payload")
+	}
+}
+
+// TestUnmarshalIntoRejectsCorruption mirrors Unmarshal's checksum and
+// framing contracts on the scratch path.
+func TestUnmarshalIntoRejectsCorruption(t *testing.T) {
+	blk := &Block{FileID: 1, Seq: 0, M: 1, N: 1, Length: 4, Payload: []byte("data")}
+	wire := blk.Marshal()
+	var scratch Block
+	if err := UnmarshalInto(wire[:headerSize-1], &scratch); err == nil {
+		t.Fatal("short block accepted")
+	}
+	bad := append([]byte(nil), wire...)
+	bad[len(bad)-1] ^= 0x01
+	if err := UnmarshalInto(bad, &scratch); err == nil {
+		t.Fatal("corrupted block accepted")
+	}
+}
+
+// FuzzDisperseReconstruct round-trips arbitrary data through the
+// streaming codec under a shard subset derived from the fuzz input.
+func FuzzDisperseReconstruct(f *testing.F) {
+	f.Add([]byte("seed data for the codec"), uint8(3), uint8(2), uint16(0x2d))
+	f.Add([]byte{0}, uint8(1), uint8(1), uint16(1))
+	f.Fuzz(func(t *testing.T, data []byte, mSeed, extra uint8, pick uint16) {
+		if len(data) == 0 {
+			return
+		}
+		m := 1 + int(mSeed)%8
+		n := m + int(extra)%8
+		c, err := Shared(m, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payloads, err := c.DisperseInto(data, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Choose m distinct shards from the pick bitmask, topping up from
+		// the low sequence numbers when the mask is too sparse.
+		var shards []Shard
+		used := make([]bool, n)
+		for s := 0; s < n && len(shards) < m; s++ {
+			if pick&(1<<uint(s%16)) != 0 {
+				shards = append(shards, Shard{Seq: s, Data: payloads[s]})
+				used[s] = true
+			}
+		}
+		for s := 0; s < n && len(shards) < m; s++ {
+			if !used[s] {
+				shards = append(shards, Shard{Seq: s, Data: payloads[s]})
+			}
+		}
+		got, err := c.ReconstructInto(shards, len(data), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("round trip mismatch (m=%d n=%d len=%d)", m, n, len(data))
+		}
+	})
+}

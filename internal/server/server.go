@@ -95,10 +95,19 @@ func New(prog *core.Program, contents map[string][]byte) (*Server, error) {
 		s.blocks[i] = alloc.Blocks()
 		// Blocks are immutable once allocated: marshal each one now so
 		// the broadcast loop reuses the wire form instead of allocating
-		// per slot.
+		// per slot. All wire forms of a file share one contiguous slab —
+		// one allocation per file instead of one per block, laid out in
+		// rotation order for the serve loop's access pattern.
 		s.payloads[i] = make([][]byte, len(s.blocks[i]))
+		slabLen := 0
+		for _, blk := range s.blocks[i] {
+			slabLen += blk.WireSize()
+		}
+		slab := make([]byte, 0, slabLen)
 		for seq, blk := range s.blocks[i] {
-			s.payloads[i][seq] = blk.Marshal()
+			start := len(slab)
+			slab = blk.MarshalInto(slab)
+			s.payloads[i][seq] = slab[start:len(slab):len(slab)]
 		}
 	}
 	return s, nil
@@ -112,14 +121,11 @@ func (s *Server) ID(i int) uint32 { return s.ids[i] }
 
 // Names returns the directory mapping broadcast identifiers to file
 // names — the application metadata a client needs to resolve requests
-// against the self-identifying block stream.
-func (s *Server) Names() map[uint32]string {
-	out := make(map[uint32]string, len(s.names))
-	for id, name := range s.names {
-		out[id] = name
-	}
-	return out
-}
+// against the self-identifying block stream. The returned map is the
+// server's own immutable directory (a Server never changes after New):
+// callers share it and must treat it as read-only rather than receive a
+// fresh copy per call.
+func (s *Server) Names() map[uint32]string { return s.names }
 
 // Emit returns the marshaled block transmitted in slot t, or nil for an
 // idle slot. The returned slice is the server's cached wire form,

@@ -37,6 +37,22 @@ const MaxFramePayload = 1 << 20
 // ErrClosed reports a Send on a closed fan-out.
 var ErrClosed = errors.New("transport: fanout closed")
 
+// AppendFrame appends the wire form of one slot frame to dst and
+// returns the extended slice. Pass dst[:0] of a reused buffer to build
+// frames allocation-free; the fan-out writer assembles header and
+// payload this way so each frame costs a single conn.Write.
+func AppendFrame(dst []byte, slot int, payload []byte) ([]byte, error) {
+	if len(payload) > MaxFramePayload {
+		return dst, fmt.Errorf("transport: payload %d exceeds limit", len(payload))
+	}
+	var hdr [frameHeaderSize]byte
+	binary.BigEndian.PutUint32(hdr[0:], uint32(slot))
+	binary.BigEndian.PutUint32(hdr[4:], uint32(len(payload)))
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, payload...)
+	return dst, nil
+}
+
 // WriteFrame writes one slot frame to w.
 func WriteFrame(w io.Writer, slot int, payload []byte) error {
 	if len(payload) > MaxFramePayload {
@@ -57,10 +73,29 @@ func WriteFrame(w io.Writer, slot int, payload []byte) error {
 }
 
 // ReadFrame reads one slot frame from r. An idle slot yields a nil
-// payload.
+// payload. The payload is freshly allocated; use ReadFrameInto in
+// receive loops that can reuse a buffer.
 func ReadFrame(r io.Reader) (slot int, payload []byte, err error) {
-	var hdr [frameHeaderSize]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	return ReadFrameInto(r, nil)
+}
+
+// ReadFrameInto reads one slot frame from r, reusing buf's backing
+// array for the payload when it has capacity (growing it otherwise).
+// The returned payload aliases buf — it is valid only until the
+// caller's next reuse of the buffer. An idle slot yields a nil payload.
+//
+// The header is also read through buf when possible: a stack header
+// array would escape through the io.Reader interface call and cost a
+// heap allocation per frame, which is exactly what this entry point
+// exists to avoid.
+func ReadFrameInto(r io.Reader, buf []byte) (slot int, payload []byte, err error) {
+	var hdr []byte
+	if cap(buf) >= frameHeaderSize {
+		hdr = buf[:frameHeaderSize]
+	} else {
+		hdr = make([]byte, frameHeaderSize)
+	}
+	if _, err := io.ReadFull(r, hdr); err != nil {
 		return 0, nil, err
 	}
 	slot = int(binary.BigEndian.Uint32(hdr[0:]))
@@ -71,7 +106,13 @@ func ReadFrame(r io.Reader) (slot int, payload []byte, err error) {
 	if n == 0 {
 		return slot, nil, nil
 	}
-	payload = make([]byte, n)
+	// The header bytes are already decoded, so the payload may overwrite
+	// them in the shared buffer.
+	if uint32(cap(buf)) >= n {
+		payload = buf[:n]
+	} else {
+		payload = make([]byte, n)
+	}
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return 0, nil, err
 	}
@@ -172,16 +213,26 @@ func (f *Fanout) acceptLoop() {
 	}
 }
 
-// writeLoop drains one subscriber's queue onto its connection.
+// writeLoop drains one subscriber's queue onto its connection. The
+// frame buffer is reused across sends, so steady-state delivery of one
+// frame is a single allocation-free conn.Write (header and payload
+// coalesced — no separate header write, no per-frame buffer).
 func (f *Fanout) writeLoop(s *subscriber) {
 	defer f.wg.Done()
+	var buf []byte
 	for {
 		select {
 		case <-s.done:
 			return
 		case fr := <-s.ch:
+			var err error
+			buf, err = AppendFrame(buf[:0], fr.slot, fr.payload)
+			if err != nil {
+				f.drop(s)
+				return
+			}
 			s.conn.SetWriteDeadline(time.Now().Add(f.timeout))
-			if err := WriteFrame(s.conn, fr.slot, fr.payload); err != nil {
+			if _, err := s.conn.Write(buf); err != nil {
 				f.drop(s)
 				return
 			}
@@ -215,6 +266,11 @@ func (f *Fanout) Evicted() int {
 	return f.evicted
 }
 
+// laggardPool recycles the slice Send gathers full-queue subscribers
+// into: a receiver that paces the broadcast (bounded backpressure) hits
+// this path on every frame, and it must not allocate there.
+var laggardPool = sync.Pool{New: func() any { s := []*subscriber(nil); return &s }}
+
 // Send queues one slot frame for every connected client. A client
 // whose queue has headroom costs one non-blocking enqueue; a client
 // whose queue is full makes the producer wait up to the write timeout
@@ -225,12 +281,14 @@ func (f *Fanout) Evicted() int {
 // listens); the only error is ErrClosed.
 func (f *Fanout) Send(slot int, payload []byte) error {
 	fr := frame{slot: slot, payload: payload}
+	fp := laggardPool.Get().(*[]*subscriber)
+	full := (*fp)[:0]
 	f.mu.Lock()
 	if f.closed {
 		f.mu.Unlock()
+		laggardPool.Put(fp)
 		return ErrClosed
 	}
-	var full []*subscriber
 	for s := range f.subs {
 		select {
 		case s.ch <- fr:
@@ -240,6 +298,8 @@ func (f *Fanout) Send(slot int, payload []byte) error {
 	}
 	f.mu.Unlock()
 	if len(full) == 0 {
+		*fp = full
+		laggardPool.Put(fp)
 		return nil
 	}
 	// One write-timeout budget covers all laggards: each gets until the
@@ -265,6 +325,9 @@ func (f *Fanout) Send(slot int, payload []byte) error {
 			f.drop(s)
 		}
 	}
+	clear(full)
+	*fp = full[:0]
+	laggardPool.Put(fp)
 	return nil
 }
 
@@ -336,6 +399,7 @@ func (b *Broadcaster) Close() error { return b.f.Close() }
 // Receiver consumes a broadcast stream from a connection.
 type Receiver struct {
 	conn net.Conn
+	buf  []byte // NextReuse's frame buffer
 }
 
 // Dial connects to a broadcaster.
@@ -344,16 +408,35 @@ func Dial(addr string) (*Receiver, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Receiver{conn: conn}, nil
+	// Seed the reuse buffer so even the first NextReuse frames (and
+	// idle frames before any payload sizes it) read their header
+	// without allocating.
+	return &Receiver{conn: conn, buf: make([]byte, 0, 512)}, nil
 }
 
 // Next returns the next slot frame. It blocks until a frame arrives,
-// the deadline passes, or the stream closes (io.EOF).
+// the deadline passes, or the stream closes (io.EOF). The payload is
+// freshly allocated and owned by the caller.
 func (r *Receiver) Next(deadline time.Duration) (slot int, payload []byte, err error) {
 	if deadline > 0 {
 		r.conn.SetReadDeadline(time.Now().Add(deadline))
 	}
 	return ReadFrame(r.conn)
+}
+
+// NextReuse is Next with the payload read into the receiver's internal
+// buffer: the returned payload is valid only until the following Next
+// or NextReuse call. It is the allocation-free receive path for loops
+// that decode each frame before fetching the next.
+func (r *Receiver) NextReuse(deadline time.Duration) (slot int, payload []byte, err error) {
+	if deadline > 0 {
+		r.conn.SetReadDeadline(time.Now().Add(deadline))
+	}
+	slot, payload, err = ReadFrameInto(r.conn, r.buf)
+	if cap(payload) > cap(r.buf) {
+		r.buf = payload[:cap(payload)]
+	}
+	return slot, payload, err
 }
 
 // Close closes the connection.

@@ -28,6 +28,11 @@ type Receiver struct {
 	cli   *client.Client
 	fault FaultModel
 
+	// corruptBuf is the reusable scratch an injected fault garbles into,
+	// so the shared wire payload is never mutated and fault injection
+	// does not allocate per corrupted slot.
+	corruptBuf []byte
+
 	cache *cache.Cache
 	store map[string][]byte // reconstructed bytes of cached files
 
@@ -311,7 +316,8 @@ func (r *Receiver) Step() (done bool, err error) {
 
 	payload := slot.Payload
 	if corrupted {
-		payload = append([]byte(nil), payload...)
+		r.corruptBuf = append(r.corruptBuf[:0], payload...)
+		payload = r.corruptBuf
 		payload[len(payload)/2] ^= 0x5a // garble so the checksum fails
 		r.m.Injected++
 	}
@@ -395,7 +401,9 @@ func (r *Receiver) Done() bool { return r.cli.Done() }
 func (r *Receiver) Start() int { return r.cli.Start() }
 
 // Directory returns the receiver's current id→name directory —
-// supplied entries merged with anything learned from the stream.
+// supplied entries merged with anything learned from the stream. The
+// returned map is a shared copy-on-write snapshot, reused across calls
+// until the directory changes: treat it as read-only.
 func (r *Receiver) Directory() map[uint32]string { return r.cli.Directory() }
 
 // Metrics returns a snapshot of the receiver's counters.

@@ -92,6 +92,12 @@ type TCPSource struct {
 	r *transport.Receiver
 	// Timeout bounds each Next call; zero blocks indefinitely.
 	Timeout time.Duration
+	// Reuse makes Next read each frame into a buffer reused across
+	// calls: the returned Slot's Payload is then valid only until the
+	// following Next. A Receiver decodes every slot before advancing,
+	// so subscription loops can enable it to receive allocation-free —
+	// but leave it off when slots are retained (Record does).
+	Reuse bool
 }
 
 // DialSource subscribes to the broadcast fan-out at addr.
@@ -105,7 +111,16 @@ func DialSource(addr string) (*TCPSource, error) {
 
 // Next reads the next frame off the connection.
 func (s *TCPSource) Next() (Slot, error) {
-	t, payload, err := s.r.Next(s.Timeout)
+	var (
+		t       int
+		payload []byte
+		err     error
+	)
+	if s.Reuse {
+		t, payload, err = s.r.NextReuse(s.Timeout)
+	} else {
+		t, payload, err = s.r.Next(s.Timeout)
+	}
 	if err != nil {
 		return Slot{}, err
 	}

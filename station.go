@@ -196,6 +196,11 @@ func (st *Station) Files() []FileSpec {
 // to resolve requests against the self-identifying block stream.
 // Identifiers are name-derived, so they remain valid across program
 // generations.
+//
+// The returned map is the generation's cached immutable directory,
+// shared across calls so per-slot callers allocate nothing: treat it as
+// read-only. A later Admit or Evict produces a new generation with a
+// new map; maps already handed out are never mutated.
 func (st *Station) Directory() map[uint32]string {
 	st.mu.Lock()
 	defer st.mu.Unlock()
