@@ -215,9 +215,25 @@ func NoFaults() FaultModel { return channel.None{} }
 // BernoulliFaults returns the paper's independent block-error model.
 func BernoulliFaults(p float64, seed int64) FaultModel { return channel.NewBernoulli(p, seed) }
 
+// BernoulliFaultsFrom is BernoulliFaults drawing from an injected
+// generator (nil for a fixed default seed), so a simulation can share
+// one reproducible random stream across its fault models, cache
+// policies (RandomPolicy) and workload generators.
+func BernoulliFaultsFrom(p float64, rng *rand.Rand) FaultModel {
+	return channel.NewBernoulliFrom(p, rng)
+}
+
 // BurstFaults returns a Gilbert–Elliott bursty loss model.
 func BurstFaults(pGoodToBad, pBadToGood, pLossWhileBad float64, seed int64) FaultModel {
 	return channel.NewGilbertElliott(pGoodToBad, pBadToGood, pLossWhileBad, seed)
+}
+
+// BurstFaultsFrom is BurstFaults drawing from an injected generator
+// (nil for a fixed default seed). Like every fault model it plugs into
+// the whole fault seam: WithReceiverFaults on a Receiver, SimConfig on
+// a simulation, and the bdsim -burst channel.
+func BurstFaultsFrom(pGoodToBad, pBadToGood, pLossWhileBad float64, rng *rand.Rand) FaultModel {
+	return channel.NewGilbertElliottFrom(pGoodToBad, pBadToGood, pLossWhileBad, rng)
 }
 
 // SlotFaults returns the deterministic adversary that corrupts exactly

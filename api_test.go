@@ -2,6 +2,7 @@ package pinbcast
 
 import (
 	"bytes"
+	"math/rand"
 	"testing"
 	"time"
 )
@@ -146,5 +147,39 @@ func TestFacadeFlatBaselines(t *testing.T) {
 	}
 	if spread.MaxGap(1) >= seq.MaxGap(1) {
 		t.Fatal("spreading should reduce δ_B")
+	}
+}
+
+func TestFaultModelsFromInjectedRand(t *testing.T) {
+	// Identically seeded injected generators reproduce the exact fault
+	// sequence, for every randomized model of the public fault seam.
+	for _, tc := range []struct {
+		name string
+		make func(seed int64) FaultModel
+	}{
+		{"bernoulli", func(seed int64) FaultModel {
+			return BernoulliFaultsFrom(0.3, rand.New(rand.NewSource(seed)))
+		}},
+		{"burst", func(seed int64) FaultModel {
+			return BurstFaultsFrom(0.2, 0.3, 0.9, rand.New(rand.NewSource(seed)))
+		}},
+	} {
+		a, b := tc.make(7), tc.make(7)
+		for t2 := 0; t2 < 512; t2++ {
+			if a.Corrupts(t2) != b.Corrupts(t2) {
+				t.Fatalf("%s: identically seeded models diverged at slot %d", tc.name, t2)
+			}
+		}
+	}
+	// The From constructors also match their seed-based counterparts,
+	// and nil selects the documented fixed default.
+	a, b := BurstFaults(0.2, 0.3, 0.9, 42), BurstFaultsFrom(0.2, 0.3, 0.9, rand.New(rand.NewSource(42)))
+	for t2 := 0; t2 < 512; t2++ {
+		if a.Corrupts(t2) != b.Corrupts(t2) {
+			t.Fatal("seeded and injected burst models diverged")
+		}
+	}
+	if BernoulliFaultsFrom(0.5, nil) == nil || BurstFaultsFrom(0.1, 0.2, 0.3, nil) == nil {
+		t.Fatal("nil rng should select a default generator")
 	}
 }

@@ -1,6 +1,9 @@
 package pinbcast
 
-import "pinbcast/internal/workload"
+import (
+	"pinbcast/internal/cluster"
+	"pinbcast/internal/workload"
+)
 
 // Scenario catalogs (internal/workload): the file sets and real-time
 // databases of the paper's motivating applications, exported so the
@@ -35,4 +38,14 @@ func VideoCatalog(nStreams int, seed int64) []FileSpec {
 // examples and simulations broadcast.
 func CatalogContents(files []FileSpec, blockSize int, seed int64) map[string][]byte {
 	return workload.Contents(files, blockSize, seed)
+}
+
+// HottestFiles returns the names of the catalog's n hottest files by
+// bandwidth share (mᵢ+rᵢ)/Tᵢ, hottest first — the access-frequency
+// proxy of broadcast disks (a tightly-constrained file is rebroadcast
+// often). It is the heat model cluster replication uses: NewCluster
+// replicates exactly these files (WithReplicateHottest), and a
+// deployment can inspect the choice before committing a plan.
+func HottestFiles(files []FileSpec, n int) []string {
+	return cluster.Hottest(files, n)
 }

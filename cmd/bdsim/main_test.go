@@ -33,3 +33,68 @@ func TestRunFanout(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRunCluster(t *testing.T) {
+	if err := runCluster(clusterParams{
+		files: 6, clients: 3, loss: 0.02, faults: 1, seed: 3,
+		channels: 3, replicas: 2, shard: pinbcast.ShardBalanced, kill: -1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunClusterKill(t *testing.T) {
+	if err := runCluster(clusterParams{
+		files: 6, clients: 3, loss: 0.02, burst: true, faults: 1, seed: 3,
+		channels: 3, replicas: 2, shard: pinbcast.ShardBalanced, kill: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateFlags(t *testing.T) {
+	// validateFlags consults flag.Visit for explicitly-set flags; none
+	// are set under `go test`, so only the value-derived rules fire.
+	cases := []struct {
+		name                                       string
+		stream                                     int
+		fanout                                     bool
+		clusterK, replicas, kill, nFiles, nClients int
+		shard                                      string
+		wantOK                                     bool
+	}{
+		{"default sim", 0, false, 0, 2, -1, 8, 25, "balanced", true},
+		{"stream", 64, false, 0, 2, -1, 8, 25, "balanced", true},
+		{"cluster", 0, false, 3, 2, -1, 8, 25, "balanced", true},
+		{"cluster K=1 with unset replicas default", 0, false, 1, 2, -1, 8, 25, "balanced", true},
+		{"stream+fanout", 64, true, 0, 2, -1, 8, 25, "balanced", false},
+		{"stream+cluster", 64, false, 3, 2, -1, 8, 25, "balanced", false},
+		{"fanout+cluster", 0, true, 3, 2, -1, 8, 25, "balanced", false},
+		{"more channels than files", 0, false, 9, 2, -1, 8, 25, "balanced", false},
+		{"bad shard", 0, false, 2, 2, -1, 8, 25, "mystery", false},
+		{"no clients", 0, false, 0, 2, -1, 8, 0, "balanced", false},
+	}
+	for _, tc := range cases {
+		msg := validateFlags(nil, tc.stream, tc.fanout, tc.clusterK, tc.replicas, tc.kill, tc.nFiles, tc.nClients, tc.shard)
+		if (msg == "") != tc.wantOK {
+			t.Errorf("%s: validateFlags = %q, want ok=%v", tc.name, msg, tc.wantOK)
+		}
+	}
+
+	// The -replicas range check fires only for an explicitly-set flag;
+	// the unset default is clamped by runCluster instead.
+	explicit := map[string]bool{"replicas": true}
+	if msg := validateFlags(explicit, 0, false, 2, 0, -1, 8, 25, "balanced"); msg == "" {
+		t.Error("explicit -replicas 0 accepted")
+	}
+	if msg := validateFlags(explicit, 0, false, 2, 3, -1, 8, 25, "balanced"); msg == "" {
+		t.Error("explicit -replicas 3 with -cluster 2 accepted")
+	}
+	// Flags that only another mode consumes are rejected when set.
+	if msg := validateFlags(map[string]bool{"clients": true}, 64, false, 0, 2, -1, 8, 25, "balanced"); msg == "" {
+		t.Error("-clients with -stream accepted")
+	}
+	if msg := validateFlags(map[string]bool{"kill": true}, 0, false, 0, 2, 1, 8, 25, "balanced"); msg == "" {
+		t.Error("-kill without -cluster accepted")
+	}
+}

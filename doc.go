@@ -109,6 +109,43 @@
 // Imielinski et al.'s (1, m) air indexing, which NewTuner analyzes
 // directly.
 //
+// # The Cluster
+//
+// One channel is one Station; a production deployment runs many. The
+// Cluster shards a catalog across K Stations (coordinator → K channels
+// → MultiTuner) under a pluggable Shard policy (HashShard,
+// HotColdShard, BalancedShard, or RegisterShard your own), replicates
+// the hottest files (HottestFiles) on R ≥ 2 channels — quorum-style:
+// any K−R+1 live channels still carry every replicated file, so R−1
+// whole-channel deaths are survived without repair, the
+// Goemans–Lynch–Saias regime layered over the paper's per-channel IDA
+// fault model — and exposes cluster-wide QoS: Cluster.Negotiate
+// composes per-channel Contracts into a ClusterContract bounded by the
+// best replica, with a degraded bound that replication sustains
+// through channel loss.
+//
+//	c, err := pinbcast.NewCluster(
+//		pinbcast.WithChannels(3), pinbcast.WithReplicas(2),
+//		pinbcast.WithClusterFiles(files...),
+//		pinbcast.WithClusterContents(contents),
+//	)
+//	cc, err := c.Negotiate(pinbcast.Txn{Name: "trip", Reads: reads, Deadline: d})
+//	rep, err := c.FailChannel(1) // failover: re-admit, re-verify, revoke
+//
+// The receiving half is the MultiTuner: one logical receiver
+// subscribed to every channel concurrently, merging directories,
+// retrieving each request from the cheapest live carrier
+// (Cluster.FetchPlan) and hopping channels on failure. Health comes
+// from a missed-slot detector on the fan-out seam — slot-numbering
+// gaps and read timeouts accumulate toward a death threshold, EOF
+// kills a channel outright — and a request whose carriers all died
+// scans the survivors, so files the coordinator re-admitted elsewhere
+// (FailChannel lands them at the survivors' next data-cycle
+// boundaries, exactly like Admit) are still found. Contracts the
+// failover can no longer honor are revoked with errors wrapping
+// ErrDegraded rather than silently stretched. See examples/cluster and
+// `bdsim -cluster K -replicas R -kill i`.
+//
 // # Transports
 //
 // Station and Receiver meet over a symmetric transport seam: a Station
@@ -165,6 +202,7 @@
 //	internal/cache     client cache policies (PIX, LRU, LFU, random)
 //	internal/airindex  (1, m) indexing on air
 //	internal/transport framed TCP fan-out
+//	internal/cluster   shard policies, replica planning, channel health
 //	internal/sim       end-to-end simulation
 //	internal/rtdb      real-time database layer
 //	internal/workload  scenario generators

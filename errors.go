@@ -46,4 +46,12 @@ var (
 	// while a previous Serve loop is still running, or a mutation that
 	// requires a quiesced station.
 	ErrServing = errors.New("pinbcast: station is already serving")
+
+	// ErrDegraded reports that a cluster can no longer honor a guarantee
+	// after channel failures: a file lost with its only channel and not
+	// re-admittable on the survivors, or a contract whose re-verified
+	// bound stretched past its promise. Revoked cluster contracts and
+	// lost files wrap it, so callers distinguish degraded service from
+	// specification errors with errors.Is.
+	ErrDegraded = errors.New("pinbcast: cluster service degraded")
 )

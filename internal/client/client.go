@@ -138,6 +138,20 @@ func (c *Client) Add(r Request) error {
 	return nil
 }
 
+// Cancel withdraws an uncompleted request without recording a result,
+// discarding any blocks collected for it. It reports whether a pending
+// request was actually withdrawn. A multi-channel tuner cancels a
+// file's collection on the losing channels once any channel completes
+// it (or when it hops a request off a dead channel).
+func (c *Client) Cancel(name string) bool {
+	p, ok := c.pending[name]
+	if !ok || p.done {
+		return false
+	}
+	delete(c.pending, name)
+	return true
+}
+
 // Learn adds one directory entry mapping a broadcast file identifier to
 // a name (e.g. gleaned from an air index or an in-process slot stream).
 // Re-learning an unchanged entry is free; a genuinely new or changed

@@ -1,0 +1,269 @@
+// Package cluster plans and tracks sharded multi-channel broadcast
+// deployments: a catalog is partitioned across K broadcast channels by
+// a pluggable Shard policy, the hottest files are replicated on R ≥ 2
+// channels (quorum-style: any K−R+1 live channels still carry every
+// replicated file, so the deployment withstands R−1 channel deaths
+// without repair — the Goemans–Lynch–Saias regime), and a missed-slot
+// Detector classifies channels live or dead from what a receiver
+// observes on the fan-out seam.
+//
+// The package is the coordination engine behind the public
+// pinbcast.Cluster; it deliberately knows nothing about Stations,
+// transports or goroutines — it plans over file specifications and
+// tracks slot observations, and the public layer wires those decisions
+// to running services.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"pinbcast/internal/bcerr"
+	"pinbcast/internal/core"
+)
+
+// Shard maps each file of a catalog to a primary broadcast channel.
+// Policies are deterministic so a deployment plan is reproducible from
+// its inputs.
+type Shard interface {
+	// Name identifies the policy in registries and flags.
+	Name() string
+	// Assign returns the primary channel index in [0, k) for each file,
+	// in input order.
+	Assign(files []core.FileSpec, k int) ([]int, error)
+}
+
+// Heat is the planner's access-frequency proxy for one file: its
+// bandwidth share (mᵢ+rᵢ)/Tᵢ. A file with a tight latency constraint
+// is rebroadcast often — it is hot in exactly the
+// Acharya–Franklin–Zdonik sense, and it is the file whose loss hurts
+// most, so replication targets the highest-Heat files first.
+func Heat(f core.FileSpec) float64 {
+	if f.Latency <= 0 {
+		return 0
+	}
+	return float64(f.Demand()) / float64(f.Latency)
+}
+
+// HashShard assigns each file by FNV-32a of its name modulo k — the
+// stateless baseline: no balance guarantee, but a file's home is
+// computable from its name alone.
+type HashShard struct{}
+
+// Name returns "hash".
+func (HashShard) Name() string { return "hash" }
+
+// Assign hashes each file name to a channel.
+func (HashShard) Assign(files []core.FileSpec, k int) ([]int, error) {
+	out := make([]int, len(files))
+	for i, f := range files {
+		h := fnv.New32a()
+		h.Write([]byte(f.Name))
+		out[i] = int(h.Sum32() % uint32(k))
+	}
+	return out, nil
+}
+
+// HotColdShard splits the catalog at the median Heat: hot files are
+// spread round-robin over the first ⌈k/2⌉ channels, cold files over the
+// rest — so hot channels carry few, frequently-spun files (short
+// periods, tight worst cases) and cold channels absorb the bulk.
+type HotColdShard struct{}
+
+// Name returns "hot-cold".
+func (HotColdShard) Name() string { return "hot-cold" }
+
+// Assign partitions by Heat and round-robins within each partition.
+func (HotColdShard) Assign(files []core.FileSpec, k int) ([]int, error) {
+	order := heatOrder(files)
+	hotChannels := (k + 1) / 2
+	coldChannels := k - hotChannels
+	hotFiles := (len(files) + 1) / 2
+	out := make([]int, len(files))
+	for rank, i := range order {
+		if rank < hotFiles || coldChannels == 0 {
+			out[i] = rank % hotChannels
+		} else {
+			out[i] = hotChannels + (rank-hotFiles)%coldChannels
+		}
+	}
+	return out, nil
+}
+
+// BalancedShard equalizes per-channel bandwidth demand: files are
+// placed hottest-first on the channel with the least accumulated Heat
+// (longest-processing-time bin packing). Balanced demand keeps every
+// channel's Equation-2 bandwidth — and with it the per-channel latency
+// profile (core.Program.LatencyProfile) — as even as the catalog
+// allows, which is what a latency-balanced deployment wants.
+type BalancedShard struct{}
+
+// Name returns "balanced".
+func (BalancedShard) Name() string { return "balanced" }
+
+// Assign greedily levels accumulated Heat across channels.
+func (BalancedShard) Assign(files []core.FileSpec, k int) ([]int, error) {
+	out := make([]int, len(files))
+	load := make([]float64, k)
+	for _, i := range heatOrder(files) {
+		best := 0
+		for c := 1; c < k; c++ {
+			if load[c] < load[best] {
+				best = c
+			}
+		}
+		out[i] = best
+		load[best] += Heat(files[i])
+	}
+	return out, nil
+}
+
+// heatOrder returns file indices sorted by descending Heat, ties broken
+// by name for determinism.
+func heatOrder(files []core.FileSpec) []int {
+	order := make([]int, len(files))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ha, hb := Heat(files[order[a]]), Heat(files[order[b]])
+		if ha != hb {
+			return ha > hb
+		}
+		return files[order[a]].Name < files[order[b]].Name
+	})
+	return order
+}
+
+// Hottest returns the names of the n highest-Heat files (all of them
+// when n exceeds the catalog), in descending Heat order.
+func Hottest(files []core.FileSpec, n int) []string {
+	if n > len(files) {
+		n = len(files)
+	}
+	if n < 0 {
+		n = 0
+	}
+	order := heatOrder(files)
+	out := make([]string, 0, n)
+	for _, i := range order[:n] {
+		out = append(out, files[i].Name)
+	}
+	return out
+}
+
+// Assignment is a planned deployment: which files each channel
+// broadcasts and where each file lives.
+type Assignment struct {
+	// Channels lists the files each channel broadcasts (primaries and
+	// replicas), in catalog order.
+	Channels [][]core.FileSpec
+	// Homes maps each file to the channels carrying it, primary first.
+	Homes map[string][]int
+	// Replicated marks the files carried by more than one channel.
+	Replicated map[string]bool
+}
+
+// Plan shards the catalog over k channels under the policy and
+// replicates the `hottest` highest-Heat files on `replicas` channels
+// each. With replicas copies, any replicas−1 channel deaths leave at
+// least one live carrier for every replicated file (equivalently: every
+// k−replicas+1 live channels form a read quorum for them). Replica
+// channels are chosen coldest-first so redundancy rides on the spare
+// capacity. Every channel must end up with at least one file;
+// violations wrap bcerr.ErrBadSpec.
+func Plan(files []core.FileSpec, k, replicas, hottest int, shard Shard) (*Assignment, error) {
+	switch {
+	case len(files) == 0:
+		return nil, fmt.Errorf("cluster: no files to shard: %w", bcerr.ErrBadSpec)
+	case k < 1:
+		return nil, fmt.Errorf("cluster: need at least one channel, got %d: %w", k, bcerr.ErrBadSpec)
+	case k > len(files):
+		return nil, fmt.Errorf("cluster: %d channels exceed %d files (every channel needs one): %w",
+			k, len(files), bcerr.ErrBadSpec)
+	case replicas < 1 || replicas > k:
+		return nil, fmt.Errorf("cluster: replicas %d out of range [1, %d]: %w", replicas, k, bcerr.ErrBadSpec)
+	case hottest < 0 || hottest > len(files):
+		return nil, fmt.Errorf("cluster: hottest %d out of range [0, %d]: %w", hottest, len(files), bcerr.ErrBadSpec)
+	case shard == nil:
+		return nil, fmt.Errorf("cluster: nil shard policy: %w", bcerr.ErrBadSpec)
+	}
+	seen := map[string]bool{}
+	for _, f := range files {
+		if seen[f.Name] {
+			return nil, fmt.Errorf("cluster: duplicate file %q: %w", f.Name, bcerr.ErrBadSpec)
+		}
+		seen[f.Name] = true
+	}
+
+	primary, err := shard.Assign(files, k)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: shard %q: %w", shard.Name(), err)
+	}
+	if len(primary) != len(files) {
+		return nil, fmt.Errorf("cluster: shard %q returned %d assignments for %d files: %w",
+			shard.Name(), len(primary), len(files), bcerr.ErrBadSpec)
+	}
+	asn := &Assignment{
+		Channels:   make([][]core.FileSpec, k),
+		Homes:      make(map[string][]int, len(files)),
+		Replicated: map[string]bool{},
+	}
+	load := make([]float64, k)
+	for i, f := range files {
+		c := primary[i]
+		if c < 0 || c >= k {
+			return nil, fmt.Errorf("cluster: shard %q sent %q to channel %d of %d: %w",
+				shard.Name(), f.Name, c, k, bcerr.ErrBadSpec)
+		}
+		asn.Channels[c] = append(asn.Channels[c], f)
+		asn.Homes[f.Name] = []int{c}
+		load[c] += Heat(f)
+	}
+	for c, chFiles := range asn.Channels {
+		if len(chFiles) == 0 {
+			return nil, fmt.Errorf("cluster: shard %q left channel %d empty (use balanced, or fewer channels): %w",
+				shard.Name(), c, bcerr.ErrBadSpec)
+		}
+	}
+
+	if replicas > 1 {
+		byName := make(map[string]core.FileSpec, len(files))
+		for _, f := range files {
+			byName[f.Name] = f
+		}
+		for _, name := range Hottest(files, hottest) {
+			f := byName[name]
+			for len(asn.Homes[name]) < replicas {
+				c := coldestAvoiding(load, asn.Homes[name])
+				asn.Channels[c] = append(asn.Channels[c], f)
+				asn.Homes[name] = append(asn.Homes[name], c)
+				load[c] += Heat(f)
+			}
+			asn.Replicated[name] = true
+		}
+	}
+	return asn, nil
+}
+
+// coldestAvoiding returns the least-loaded channel not in taken.
+func coldestAvoiding(load []float64, taken []int) int {
+	best := -1
+	for c := range load {
+		used := false
+		for _, t := range taken {
+			if t == c {
+				used = true
+				break
+			}
+		}
+		if used {
+			continue
+		}
+		if best < 0 || load[c] < load[best] {
+			best = c
+		}
+	}
+	return best
+}

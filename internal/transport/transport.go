@@ -37,6 +37,15 @@ const MaxFramePayload = 1 << 20
 // ErrClosed reports a Send on a closed fan-out.
 var ErrClosed = errors.New("transport: fanout closed")
 
+// IsTimeout reports whether err is a read-deadline expiry rather than a
+// dead stream: a receiver driving a missed-slot detector counts a
+// timeout as one slot of silence, while any other receive error (EOF,
+// reset, corrupt frame) means the channel itself is gone.
+func IsTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
 // AppendFrame appends the wire form of one slot frame to dst and
 // returns the extended slice. Pass dst[:0] of a reused buffer to build
 // frames allocation-free; the fan-out writer assembles header and

@@ -1,0 +1,591 @@
+package pinbcast
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"pinbcast/internal/client"
+	"pinbcast/internal/cluster"
+	"pinbcast/internal/transport"
+)
+
+// MultiTuner is the receiving half of a Cluster: one logical receiver
+// subscribed to several broadcast Sources concurrently — one per
+// channel. It merges the channels' directories, retrieves each request
+// from the cheapest live channel carrying the file (per the fetch plan,
+// cheapest first), and hops a request to the next live carrier when its
+// channel dies. Channel health comes from a missed-slot detector on
+// the fan-out seam: gaps in a channel's slot numbering and read
+// timeouts accumulate toward a death threshold, and a stream error or
+// EOF kills the channel outright. A request whose known carriers are
+// all dead falls back to scanning every live channel, so a file the
+// cluster re-admits elsewhere after a failover (Cluster.FailChannel)
+// is still found — the blocks are self-identifying, whichever channel
+// carries them.
+//
+//	mt, err := pinbcast.NewMultiTuner(srcs,
+//		pinbcast.WithTunerDirectory(c.Directory()),
+//		pinbcast.WithTunerHomes(c.FetchPlan()),
+//		pinbcast.WithTunerRequest("traffic-00", deadline),
+//	)
+//	results, err := mt.Run(ctx)
+//
+// Deadlines are per-attachment: a hopped request's deadline clock
+// restarts on the serving channel, matching the per-channel Contract
+// bounds a ClusterContract composes. Like Receiver.Run, Run observes
+// cancellation between slots — give TCP sources a Timeout so a silent
+// channel cannot hold a drive loop forever (the timeout doubles as the
+// missed-slot clock).
+type MultiTuner struct {
+	chans []*mtChannel
+	det   *cluster.Detector
+
+	mu      sync.Mutex
+	reqs    map[string]*mtRequest
+	results []ClusterResult
+	hops    int
+	stop    chan struct{} // closed when every request has completed
+}
+
+// mtChannel is one subscribed channel: its source, its protocol client,
+// its own reception-fault process, and its consumption counters. Each
+// channel has its own lock so the K receive loops never serialize on
+// one mutex in the per-slot path — the tuner-wide lock (MultiTuner.mu)
+// is taken only for request bookkeeping (attach, hop, completion). The
+// lock order is MultiTuner.mu before mtChannel.mu; the per-slot path
+// takes mtChannel.mu alone and re-enters through MultiTuner.mu only
+// after releasing it.
+type mtChannel struct {
+	src Source
+
+	mu       sync.Mutex
+	cli      *client.Client
+	fault    FaultModel
+	slots    int
+	injected int
+	// corruptBuf is the reusable scratch an injected fault garbles into,
+	// exactly as in Receiver: the shared wire payload is never mutated.
+	corruptBuf []byte
+}
+
+// mtRequest tracks one logical retrieval across channels.
+type mtRequest struct {
+	file     string
+	deadline int
+	order    []int // fetch plan, cheapest first; nil = scan mode
+	attached []int // channels currently collecting the file
+	tried    map[int]bool
+	done     bool
+}
+
+// ClusterResult is a Result annotated with the channel that served it
+// (-1 when the request failed on every channel).
+type ClusterResult struct {
+	Result
+	Channel int
+}
+
+// MultiTunerMetrics counts what a multi-tuner has seen and done.
+type MultiTunerMetrics struct {
+	// SlotsPerChannel is the number of slots consumed from each source.
+	SlotsPerChannel []int
+	// Hops counts request re-attachments after channel deaths.
+	Hops int
+	// DeadChannels lists the channels the detector has declared dead.
+	DeadChannels []int
+	// Injected counts corruptions introduced by the tuner's own fault
+	// models (WithTunerFaults) across all channels.
+	Injected int
+	// Completed and Failed count finished requests by outcome.
+	Completed int
+	Failed    int
+}
+
+// multiTunerConfig collects the options a MultiTuner is built from.
+type multiTunerConfig struct {
+	names     map[uint32]string
+	homes     map[string][]int
+	requests  []Request
+	threshold int
+	faults    []FaultModel
+}
+
+// MultiTunerOption configures a MultiTuner under construction.
+type MultiTunerOption func(*multiTunerConfig) error
+
+// WithTunerDirectory supplies the merged id→name directory
+// (Cluster.Directory). Every channel's protocol client shares it, so a
+// file is resolvable whichever channel its blocks arrive on.
+func WithTunerDirectory(names map[uint32]string) MultiTunerOption {
+	return func(c *multiTunerConfig) error {
+		for id, name := range names {
+			c.names[id] = name
+		}
+		return nil
+	}
+}
+
+// WithTunerHomes supplies the fetch plan: for each file, the channels
+// carrying it, cheapest first (Cluster.FetchPlan). Requests for files
+// absent from the plan scan every live channel.
+func WithTunerHomes(homes map[string][]int) MultiTunerOption {
+	return func(c *multiTunerConfig) error {
+		if c.homes == nil {
+			c.homes = make(map[string][]int, len(homes))
+		}
+		for name, order := range homes {
+			c.homes[name] = append([]int(nil), order...)
+		}
+		return nil
+	}
+}
+
+// WithTunerRequests registers files to retrieve, with per-request
+// relative deadlines in slots (0 = none), clocked per attachment on the
+// serving channel.
+func WithTunerRequests(reqs ...Request) MultiTunerOption {
+	return func(c *multiTunerConfig) error {
+		c.requests = append(c.requests, reqs...)
+		return nil
+	}
+}
+
+// WithTunerRequest registers one file to retrieve by the given relative
+// deadline in slots (0 = none).
+func WithTunerRequest(file string, deadline int) MultiTunerOption {
+	return WithTunerRequests(Request{File: file, Deadline: deadline})
+}
+
+// WithTunerFaults injects one reception fault model per channel —
+// independent media have independent fault processes, so stateful
+// models (BurstFaultsFrom) must not be shared across channels. Slots a
+// model corrupts reach the channel's protocol as garbled blocks, which
+// the checksum rejects. The slice must have exactly one entry per
+// source (nil entries leave that channel fault-free).
+func WithTunerFaults(models ...FaultModel) MultiTunerOption {
+	return func(c *multiTunerConfig) error {
+		c.faults = append([]FaultModel(nil), models...)
+		return nil
+	}
+}
+
+// WithMissThreshold sets how many consecutive missed slots (numbering
+// gaps or read timeouts) mark a channel dead (default 4).
+func WithMissThreshold(n int) MultiTunerOption {
+	return func(c *multiTunerConfig) error {
+		if n < 1 {
+			return fmt.Errorf("pinbcast: miss threshold %d < 1: %w", n, ErrBadSpec)
+		}
+		c.threshold = n
+		return nil
+	}
+}
+
+// NewMultiTuner subscribes a multi-channel tuner to one Source per
+// cluster channel. The source order must match the cluster's channel
+// numbering (srcs[i] carries channel i); a channel already known dead
+// may be represented by a nil source.
+func NewMultiTuner(srcs []Source, opts ...MultiTunerOption) (*MultiTuner, error) {
+	if len(srcs) == 0 {
+		return nil, fmt.Errorf("pinbcast: no sources: %w", ErrBadSpec)
+	}
+	cfg := &multiTunerConfig{names: map[uint32]string{}}
+	for _, opt := range opts {
+		if err := opt(cfg); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.faults != nil && len(cfg.faults) != len(srcs) {
+		return nil, fmt.Errorf("pinbcast: %d fault models for %d channels: %w",
+			len(cfg.faults), len(srcs), ErrBadSpec)
+	}
+	mt := &MultiTuner{
+		det:  cluster.NewDetector(len(srcs), cfg.threshold),
+		reqs: map[string]*mtRequest{},
+		stop: make(chan struct{}),
+	}
+	for i, src := range srcs {
+		mc := &mtChannel{src: src, cli: client.NewSubscriber(cfg.names)}
+		if cfg.faults != nil {
+			mc.fault = cfg.faults[i]
+		}
+		mt.chans = append(mt.chans, mc)
+		if src == nil {
+			mt.det.Fail(i)
+		}
+	}
+	for _, req := range cfg.requests {
+		if err := mt.RequestVia(req.File, req.Deadline, cfg.homes[req.File]); err != nil {
+			return nil, err
+		}
+	}
+	return mt, nil
+}
+
+// Request asks for one file with a relative deadline in slots (0 =
+// none), fetched in scan mode: every live channel collects it and the
+// first to complete wins. Use RequestVia with a fetch plan for the
+// cheapest-channel policy. Requesting a file already pending wraps
+// ErrBadSpec.
+func (mt *MultiTuner) Request(file string, deadline int) error {
+	return mt.RequestVia(file, deadline, nil)
+}
+
+// RequestVia asks for one file with an explicit fetch plan: the
+// channels carrying the file, cheapest first (one entry of
+// Cluster.FetchPlan). The request attaches to the first live channel of
+// the plan and hops down the plan as channels die; with the plan
+// exhausted (or nil) it scans every live channel.
+func (mt *MultiTuner) RequestVia(file string, deadline int, order []int) error {
+	if file == "" {
+		return fmt.Errorf("pinbcast: request without a file name: %w", ErrBadSpec)
+	}
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	if r, dup := mt.reqs[file]; dup && !r.done {
+		return fmt.Errorf("pinbcast: file %q already requested: %w", file, ErrBadSpec)
+	}
+	for _, ch := range order {
+		if ch < 0 || ch >= len(mt.chans) {
+			return fmt.Errorf("pinbcast: fetch plan for %q names channel %d of %d: %w",
+				file, ch, len(mt.chans), ErrBadSpec)
+		}
+	}
+	req := &mtRequest{file: file, deadline: deadline, order: order, tried: map[int]bool{}}
+	mt.reqs[file] = req
+	mt.attachLocked(req)
+	if len(req.attached) == 0 {
+		// No live channel at all: fail immediately rather than hang.
+		mt.finishLocked(req, ClusterResult{
+			Result:  Result{File: file, Deadline: deadline},
+			Channel: -1,
+		})
+	}
+	return nil
+}
+
+// attachLocked attaches the request to the cheapest untried live
+// channel of its plan, or — plan exhausted — to every live channel
+// (scan mode). Caller holds mu.
+func (mt *MultiTuner) attachLocked(req *mtRequest) {
+	for _, ch := range req.order {
+		if req.tried[ch] || !mt.det.Alive(ch) {
+			continue
+		}
+		mt.attachToLocked(req, ch)
+		return
+	}
+	for ch := range mt.chans {
+		if req.tried[ch] || !mt.det.Alive(ch) {
+			continue
+		}
+		mt.attachToLocked(req, ch)
+	}
+}
+
+func (mt *MultiTuner) attachToLocked(req *mtRequest, ch int) {
+	mc := mt.chans[ch]
+	mc.mu.Lock()
+	err := mc.cli.Add(client.Request{File: req.file, Deadline: req.deadline})
+	mc.mu.Unlock()
+	if err != nil {
+		return // already pending there (re-request after cancel race)
+	}
+	req.tried[ch] = true
+	req.attached = append(req.attached, ch)
+}
+
+// cancelOn withdraws a file's collection on one channel. Caller holds
+// mu (the mt.mu → mc.mu order).
+func (mt *MultiTuner) cancelOn(ch int, file string) {
+	mc := mt.chans[ch]
+	mc.mu.Lock()
+	mc.cli.Cancel(file)
+	mc.mu.Unlock()
+}
+
+// finishLocked records a request's outcome and releases the other
+// channels collecting it. Caller holds mu.
+func (mt *MultiTuner) finishLocked(req *mtRequest, res ClusterResult) {
+	if req.done {
+		return
+	}
+	req.done = true
+	for _, ch := range req.attached {
+		if ch != res.Channel {
+			mt.cancelOn(ch, req.file)
+		}
+	}
+	req.attached = nil
+	mt.results = append(mt.results, res)
+	for _, r := range mt.reqs {
+		if !r.done {
+			return
+		}
+	}
+	select {
+	case <-mt.stop:
+	default:
+		close(mt.stop)
+	}
+}
+
+// Run drives every channel concurrently until each request has
+// completed, the context is cancelled, or no live channel remains.
+// Exactly like Receiver.Run, requests still pending when the run ends
+// — whatever ended it — are flushed as failures with Channel −1: a
+// cancelled context is the caller's deadline on the whole run, not a
+// pause. A tuner left running accepts further Request calls (including
+// re-requests of flushed files) and can be Run again.
+func (mt *MultiTuner) Run(ctx context.Context) ([]ClusterResult, error) {
+	mt.mu.Lock()
+	pending := 0
+	for _, r := range mt.reqs {
+		if !r.done {
+			pending++
+		}
+	}
+	if pending > 0 {
+		// Re-arm the completion latch for this Run.
+		select {
+		case <-mt.stop:
+			mt.stop = make(chan struct{})
+		default:
+		}
+	}
+	stop := mt.stop
+	mt.mu.Unlock()
+	if pending == 0 {
+		return mt.Results(), nil
+	}
+
+	var wg sync.WaitGroup
+	for i := range mt.chans {
+		if !mt.det.Alive(i) || mt.chans[i].src == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			mt.drive(ctx, i, stop)
+		}(i)
+	}
+
+	var runErr error
+	select {
+	case <-ctx.Done():
+		runErr = ctx.Err()
+	case <-stop:
+	}
+	wg.Wait()
+
+	mt.mu.Lock()
+	for _, req := range mt.reqs {
+		if !req.done {
+			mt.finishLocked(req, ClusterResult{
+				Result:  Result{File: req.file, Deadline: req.deadline},
+				Channel: -1,
+			})
+		}
+	}
+	mt.mu.Unlock()
+	return mt.Results(), runErr
+}
+
+// drive consumes one channel's source until the run stops, the context
+// ends, or the channel dies.
+func (mt *MultiTuner) drive(ctx context.Context, ch int, stop <-chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ctx.Done():
+			return
+		default:
+		}
+		slot, err := mt.chans[ch].src.Next()
+		if err != nil {
+			if err != io.EOF && transport.IsTimeout(err) {
+				if mt.det.Miss(ch) {
+					mt.channelDied(ch)
+					return
+				}
+				continue
+			}
+			// EOF or a hard receive error: the channel's stream is gone.
+			mt.det.Fail(ch)
+			mt.channelDied(ch)
+			return
+		}
+		if mt.observe(ch, slot) {
+			mt.channelDied(ch)
+			return
+		}
+	}
+}
+
+// observe delivers one slot to the channel's client and reports whether
+// the slot's numbering gap just killed the channel. Only the channel's
+// own lock is held for the protocol work; the tuner-wide lock is taken
+// after it is released, and only when a reconstruction completed.
+func (mt *MultiTuner) observe(ch int, slot Slot) (died bool) {
+	died = mt.det.Observe(ch, slot.T)
+	mc := mt.chans[ch]
+	mc.mu.Lock()
+	mc.slots++
+	if slot.File != "" && slot.Block != nil {
+		mc.cli.Learn(slot.Block.FileID, slot.File)
+	}
+	payload := slot.Payload
+	// The fault process is a property of the channel: it advances once
+	// per transmitted block whether or not a request is pending, like
+	// Receiver's injection.
+	if len(payload) > 0 && mc.fault != nil && mc.fault.Corrupts(slot.T) {
+		mc.corruptBuf = append(mc.corruptBuf[:0], payload...)
+		payload = mc.corruptBuf
+		payload[len(payload)/2] ^= 0x5a // garble so the checksum fails
+		mc.injected++
+	}
+	var res Result
+	completed := false
+	if mc.cli.Observe(slot.T, payload) == client.Completed {
+		results := mc.cli.Results()
+		res = results[len(results)-1]
+		completed = true
+	}
+	mc.mu.Unlock()
+	if completed {
+		mt.mu.Lock()
+		if req, ok := mt.reqs[res.File]; ok && !req.done {
+			mt.finishLocked(req, ClusterResult{Result: res, Channel: ch})
+		}
+		mt.mu.Unlock()
+	}
+	return died
+}
+
+// channelDied re-homes the dead channel's pending requests: each hops
+// to the next live carrier of its plan (or to scan mode), and a request
+// with no live channel left anywhere is flushed as a failure.
+func (mt *MultiTuner) channelDied(ch int) {
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	for _, req := range mt.reqs {
+		if req.done {
+			continue
+		}
+		attached := req.attached[:0]
+		wasHere := false
+		for _, a := range req.attached {
+			if a == ch {
+				wasHere = true
+				mt.cancelOn(ch, req.file)
+			} else if mt.det.Alive(a) {
+				attached = append(attached, a)
+			}
+		}
+		req.attached = attached
+		if !wasHere && len(attached) > 0 {
+			continue
+		}
+		if len(req.attached) == 0 {
+			mt.hops++
+			mt.attachLocked(req)
+			if len(req.attached) == 0 {
+				mt.finishLocked(req, ClusterResult{
+					Result:  Result{File: req.file, Deadline: req.deadline},
+					Channel: -1,
+				})
+			}
+		}
+	}
+}
+
+// Results returns the outcomes recorded so far, in completion order.
+func (mt *MultiTuner) Results() []ClusterResult {
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	return append([]ClusterResult(nil), mt.results...)
+}
+
+// Pending returns the names of files still being collected, sorted.
+func (mt *MultiTuner) Pending() []string {
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	var out []string
+	for name, req := range mt.reqs {
+		if !req.done {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Done reports whether every request has completed.
+func (mt *MultiTuner) Done() bool {
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	for _, req := range mt.reqs {
+		if !req.done {
+			return false
+		}
+	}
+	return true
+}
+
+// Directory returns the merged id→name directory over every channel —
+// supplied entries plus whatever each channel's stream has taught.
+func (mt *MultiTuner) Directory() map[uint32]string {
+	out := map[uint32]string{}
+	for _, mc := range mt.chans {
+		mc.mu.Lock()
+		for id, name := range mc.cli.Directory() {
+			out[id] = name
+		}
+		mc.mu.Unlock()
+	}
+	return out
+}
+
+// Metrics returns a snapshot of the tuner's counters.
+func (mt *MultiTuner) Metrics() MultiTunerMetrics {
+	m := MultiTunerMetrics{
+		SlotsPerChannel: make([]int, len(mt.chans)),
+		DeadChannels:    mt.det.Dead(),
+	}
+	for i, mc := range mt.chans {
+		mc.mu.Lock()
+		m.SlotsPerChannel[i] = mc.slots
+		m.Injected += mc.injected
+		mc.mu.Unlock()
+	}
+	mt.mu.Lock()
+	m.Hops = mt.hops
+	for _, res := range mt.results {
+		if res.Completed {
+			m.Completed++
+		} else {
+			m.Failed++
+		}
+	}
+	mt.mu.Unlock()
+	return m
+}
+
+// Close releases every source.
+func (mt *MultiTuner) Close() error {
+	var first error
+	for _, mc := range mt.chans {
+		if mc.src == nil {
+			continue
+		}
+		if err := mc.src.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

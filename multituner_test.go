@@ -1,0 +1,168 @@
+package pinbcast
+
+import (
+	"context"
+	"errors"
+	"io"
+	"testing"
+)
+
+// recordChannels serves each station of the cluster into a Recording
+// for n slots and returns one replay Source per channel.
+func recordChannels(t *testing.T, c *Cluster, n int) []*Recording {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	slots, err := c.Serve(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := make([]*Recording, len(slots))
+	for i, ch := range slots {
+		rec, err := Record(SlotSource(ch), n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs[i] = rec
+	}
+	return recs
+}
+
+// loopingSource replays a recording cyclically with a monotone slot
+// clock — a live channel stand-in that never ends, so tests of the
+// hop machinery don't race against replay exhaustion.
+type loopingSource struct {
+	slots  []Slot
+	pos    int
+	closed bool
+}
+
+func (l *loopingSource) Next() (Slot, error) {
+	if l.closed || len(l.slots) == 0 {
+		return Slot{}, io.EOF
+	}
+	s := l.slots[l.pos%len(l.slots)]
+	s.T = l.pos
+	l.pos++
+	return s, nil
+}
+
+func (l *loopingSource) Close() error {
+	l.closed = true
+	return nil
+}
+
+func TestMultiTunerHopOnEOF(t *testing.T) {
+	c := testCluster(t)
+	recs := recordChannels(t, c, 256)
+	plan := c.FetchPlan()
+
+	// hot-a is replicated; its cheapest-first plan starts on a channel
+	// whose replay ends after one slot (too few for the M=2 threshold),
+	// so the tuner must hop to the replica and still complete.
+	first := plan["hot-a"][0]
+	srcs := make([]Source, c.Channels())
+	for i, rec := range recs {
+		if i == first {
+			short := &Recording{}
+			short.Send(rec.Slots()[0])
+			srcs[i] = short.Source()
+		} else {
+			srcs[i] = &loopingSource{slots: rec.Slots()}
+		}
+	}
+	mt, err := NewMultiTuner(srcs,
+		WithTunerDirectory(c.Directory()),
+		WithTunerHomes(map[string][]int{"hot-a": plan["hot-a"]}),
+		WithTunerRequests(Request{File: "hot-a", Deadline: 0}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mt.Close()
+	results, err := mt.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("results = %+v", results)
+	}
+	res := results[0]
+	if !res.Completed || res.File != "hot-a" {
+		t.Fatalf("hop retrieval failed: %+v", res)
+	}
+	if res.Channel == first {
+		t.Fatalf("served by the truncated channel %d", first)
+	}
+	m := mt.Metrics()
+	if m.Hops < 1 {
+		t.Fatalf("expected a hop, metrics %+v", m)
+	}
+	if !mt.Done() || len(mt.Pending()) != 0 {
+		t.Fatal("tuner not done after run")
+	}
+}
+
+func TestMultiTunerScanModeAndCancel(t *testing.T) {
+	c := testCluster(t)
+	recs := recordChannels(t, c, 256)
+	srcs := make([]Source, len(recs))
+	for i, rec := range recs {
+		srcs[i] = rec.Source()
+	}
+	// No fetch plan at all: every request scans all channels; the
+	// winning channel records the result and the losers are cancelled.
+	mt, err := NewMultiTuner(srcs, WithTunerDirectory(c.Directory()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mt.Close()
+	for _, name := range []string{"hot-a", "warm", "cold"} {
+		if err := mt.Request(name, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := mt.Request("hot-a", 0); !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("duplicate request: %v", err)
+	}
+	results, err := mt.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %+v", results)
+	}
+	for _, res := range results {
+		if !res.Completed {
+			t.Fatalf("scan retrieval failed: %+v", res)
+		}
+	}
+	m := mt.Metrics()
+	if m.Completed != 3 || m.Failed != 0 {
+		t.Fatalf("metrics %+v", m)
+	}
+	// The merged directory knows every file the channels taught.
+	if len(mt.Directory()) != 6 {
+		t.Fatalf("merged directory has %d entries", len(mt.Directory()))
+	}
+}
+
+func TestMultiTunerValidation(t *testing.T) {
+	if _, err := NewMultiTuner(nil); !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("no sources: %v", err)
+	}
+	rec := &Recording{}
+	if _, err := NewMultiTuner([]Source{rec.Source()}, WithMissThreshold(0)); !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("zero threshold: %v", err)
+	}
+	mt, err := NewMultiTuner([]Source{rec.Source()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mt.Request("", 0); !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("empty file: %v", err)
+	}
+	if err := mt.RequestVia("x", 0, []int{7}); !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("out-of-range plan: %v", err)
+	}
+}

@@ -158,3 +158,138 @@ func WithSlotBuffer(n int) Option {
 		return nil
 	}
 }
+
+// clusterConfig collects the options a Cluster is built from.
+type clusterConfig struct {
+	files       []FileSpec
+	contents    map[string][]byte
+	channels    int
+	replicas    int // -1 = default min(2, channels)
+	hottest     int // -1 = default ⌈len(files)/4⌉
+	bandwidth   int // 0 = per-channel Equation-2 sizing
+	shard       Shard
+	stationOpts []Option
+}
+
+// ClusterOption configures a Cluster under construction.
+type ClusterOption func(*clusterConfig) error
+
+// WithChannels sets K, the number of broadcast channels the catalog is
+// sharded across (default 2).
+func WithChannels(k int) ClusterOption {
+	return func(c *clusterConfig) error {
+		if k < 1 {
+			return fmt.Errorf("pinbcast: need at least one channel, got %d: %w", k, ErrBadSpec)
+		}
+		c.channels = k
+		return nil
+	}
+}
+
+// WithReplicas sets R, the number of channels each replicated file is
+// carried on. R ≥ 2 gives the quorum property: any K−R+1 live channels
+// still carry every replicated file, so the cluster withstands R−1
+// channel deaths without repair. The default is min(2, K).
+func WithReplicas(r int) ClusterOption {
+	return func(c *clusterConfig) error {
+		if r < 1 {
+			return fmt.Errorf("pinbcast: need at least one replica, got %d: %w", r, ErrBadSpec)
+		}
+		c.replicas = r
+		return nil
+	}
+}
+
+// WithReplicateHottest sets how many of the catalog's hottest files (by
+// bandwidth share, the access-frequency proxy) are replicated. The
+// default replicates the hottest quarter of the catalog.
+func WithReplicateHottest(n int) ClusterOption {
+	return func(c *clusterConfig) error {
+		if n < 0 {
+			return fmt.Errorf("pinbcast: negative replication count %d: %w", n, ErrBadSpec)
+		}
+		c.hottest = n
+		return nil
+	}
+}
+
+// WithShard selects the catalog-partitioning policy (default
+// BalancedShard).
+func WithShard(s Shard) ClusterOption {
+	return func(c *clusterConfig) error {
+		if s == nil {
+			return fmt.Errorf("pinbcast: nil shard policy: %w", ErrBadSpec)
+		}
+		c.shard = s
+		return nil
+	}
+}
+
+// WithShardName selects a registered shard policy by name.
+func WithShardName(name string) ClusterOption {
+	return func(c *clusterConfig) error {
+		s, ok := LookupShard(name)
+		if !ok {
+			return fmt.Errorf("pinbcast: unknown shard policy %q (registered: %v): %w",
+				name, ShardNames(), ErrBadSpec)
+		}
+		c.shard = s
+		return nil
+	}
+}
+
+// WithClusterFiles appends broadcast file specifications to the cluster
+// catalog; supply contents through WithClusterContents or
+// WithClusterFile.
+func WithClusterFiles(files ...FileSpec) ClusterOption {
+	return func(c *clusterConfig) error {
+		c.files = append(c.files, files...)
+		return nil
+	}
+}
+
+// WithClusterFile appends one catalog file together with its contents.
+func WithClusterFile(f FileSpec, contents []byte) ClusterOption {
+	return func(c *clusterConfig) error {
+		c.files = append(c.files, f)
+		c.contents[f.Name] = contents
+		return nil
+	}
+}
+
+// WithClusterContents supplies catalog file contents keyed by name,
+// merged over any contents already configured.
+func WithClusterContents(contents map[string][]byte) ClusterOption {
+	return func(c *clusterConfig) error {
+		for name, data := range contents {
+			c.contents[name] = data
+		}
+		return nil
+	}
+}
+
+// WithClusterBandwidth fixes every channel's bandwidth in blocks per
+// time unit instead of the default per-channel Equation-2 sizing.
+// Over-provisioning (e.g. the Equation-2 bandwidth of the whole
+// catalog) leaves the headroom FailChannel needs to re-admit a dead
+// channel's files onto the survivors.
+func WithClusterBandwidth(b int) ClusterOption {
+	return func(c *clusterConfig) error {
+		if b < 0 {
+			return fmt.Errorf("pinbcast: negative bandwidth %d: %w", b, ErrBadSpec)
+		}
+		c.bandwidth = b
+		return nil
+	}
+}
+
+// WithStationOptions appends Station options applied to every channel's
+// station — pacing (WithSlotInterval), buffering (WithSlotBuffer),
+// scheduler chains (WithSchedulers) and layouts (WithLayout) compose
+// with the cluster plan.
+func WithStationOptions(opts ...Option) ClusterOption {
+	return func(c *clusterConfig) error {
+		c.stationOpts = append(c.stationOpts, opts...)
+		return nil
+	}
+}

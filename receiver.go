@@ -252,6 +252,13 @@ func (r *Receiver) Request(file string, deadline int) error {
 	return nil
 }
 
+// Cancel withdraws a pending request without recording a result,
+// discarding any blocks collected for it. It reports whether the file
+// was actually pending. A MultiTuner uses the same operation on its
+// per-channel clients to release the losing channels once any channel
+// completes a request.
+func (r *Receiver) Cancel(file string) bool { return r.cli.Cancel(file) }
+
 // Step consumes one slot from the source and advances the protocol. It
 // reports whether every request has completed. The stream end
 // propagates as io.EOF (flush pending requests with Results afterwards
