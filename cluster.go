@@ -120,12 +120,12 @@ type Cluster struct {
 	specs    map[string]FileSpec
 
 	mu         sync.Mutex
-	homes      map[string][]int // file -> carrying channels, primary first
-	replicated map[string]bool
-	dead       map[int]bool
-	stops      []context.CancelFunc // per-channel broadcast stops (while serving)
-	contracts  map[string]*clusterContractEntry
-	lost       map[string]error // files no survivor could carry, wrapping ErrDegraded
+	homes      map[string][]int                 // file -> carrying channels, primary first; guarded by mu
+	replicated map[string]bool                  // guarded by mu
+	dead       map[int]bool                     // guarded by mu
+	stops      []context.CancelFunc             // per-channel broadcast stops (while serving); guarded by mu
+	contracts  map[string]*clusterContractEntry // guarded by mu
+	lost       map[string]error                 // files no survivor could carry, wrapping ErrDegraded; guarded by mu
 }
 
 // clusterContractEntry pairs an issued cluster contract with the
@@ -745,6 +745,8 @@ func (c *Cluster) registrationPlanLocked(x Txn, degraded int) (map[int][]string,
 // one, so the read set is re-registered on every live carrier (best
 // effort — the coordinator's own re-verification already vouched for
 // the bounds). Caller holds mu.
+//
+//pinlint:cycle-boundary
 func (c *Cluster) reRegisterLocked(e *clusterContractEntry) {
 	for ch := range e.c.PerChannel {
 		if !c.dead[ch] {

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestKnownBadFixture smokes the multichecker end to end: the bad
+// fixture packages must produce diagnostics and exit status 1.
+func TestKnownBadFixture(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"pinbcast/internal/analyzers/testdata/src/hotpathbad"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "hotpath") {
+		t.Errorf("diagnostics missing hotpath findings:\n%s", stdout.String())
+	}
+}
+
+// TestRealTreeClean asserts the analyzers pass on the actual module —
+// the invariant CI enforces.
+func TestRealTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"pinbcast/..."}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("pinlint on the real tree: exit %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+}
+
+// TestListFlag keeps the -list inventory in sync with the suite.
+func TestListFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list exit code = %d", code)
+	}
+	for _, name := range []string{"hotpath", "norand", "lockcheck", "cycleboundary", "errwrap"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, stdout.String())
+		}
+	}
+}

@@ -75,11 +75,11 @@ func parseTasks(args []string) (pinbcast.TaskSystem, error) {
 		}
 		a, err := strconv.Atoi(parts[0])
 		if err != nil {
-			return nil, fmt.Errorf("task %q: %v", arg, err)
+			return nil, fmt.Errorf("task %q: %w", arg, err)
 		}
 		b, err := strconv.Atoi(parts[1])
 		if err != nil {
-			return nil, fmt.Errorf("task %q: %v", arg, err)
+			return nil, fmt.Errorf("task %q: %w", arg, err)
 		}
 		sys = append(sys, pinbcast.Task{A: a, B: b})
 	}

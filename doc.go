@@ -207,7 +207,19 @@
 //	internal/rtdb      real-time database layer
 //	internal/workload  scenario generators
 //	internal/exp       paper table/figure reproduction
+//	internal/analyzers custom static analyzers (cmd/pinlint)
 //
 // See README.md for a quickstart and the mapping from API names to the
 // paper's sections.
+//
+// # Machine-checked invariants
+//
+// Comments of the form //pinlint:... are machine-readable annotations
+// consumed by the static analyzer suite in internal/analyzers (run
+// with `go run ./cmd/pinlint ./...`, a required CI step):
+// //pinlint:hotpath marks a function that must not allocate per call,
+// //pinlint:cycle-boundary marks a program mutator reachable only from
+// admission seams, //pinlint:holds asserts a caller-held mutex, and
+// `guarded by <mu>` field comments bind fields to their mutex. See the
+// README's "Static analysis" section for the full contract.
 package pinbcast

@@ -48,6 +48,8 @@ func (f *Fanout) Evicted() int { return f.f.Evicted() }
 
 // Send transmits one slot frame (slot index + raw block payload) to
 // every subscriber; Fanout is a Sink.
+//
+//pinlint:hotpath
 func (f *Fanout) Send(s Slot) error { return f.f.Send(s.T, s.Payload) }
 
 // Close stops accepting and disconnects every subscriber.

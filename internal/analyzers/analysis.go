@@ -1,0 +1,132 @@
+// Package analyzers implements pinlint: a suite of static analyzers
+// that mechanically enforce the codebase's performance and correctness
+// invariants — zero-allocation hot paths, injected randomness,
+// mutex-guarded field access, cycle-boundary-only mutation, and
+// sentinel-error wrapping discipline.
+//
+// The package mirrors the golang.org/x/tools/go/analysis API surface
+// (Analyzer, Pass, Diagnostic) on the standard library alone, so the
+// module stays dependency-free and the analyzers can later be ported to
+// the real driver mechanically. Packages are loaded by shelling out to
+// `go list -export` and type-checking target packages from source with
+// dependencies imported from compiler export data — the same strategy
+// `go vet` uses.
+//
+// # Annotations
+//
+// Analyzers are driven by machine-readable comments:
+//
+//	//pinlint:hotpath        — function must not contain
+//	                           allocation-prone constructs, and may only
+//	                           call other hotpath functions within the
+//	                           module (see hotpath.go for exact rules)
+//	//pinlint:cycle-boundary — function mutates broadcast-program state
+//	                           and may only be called from the admission
+//	                           seams (Admit/Evict/Negotiate/AdmitTxn/
+//	                           ReleaseTxn/Release/FailChannel/New/
+//	                           NewCluster) or other annotated functions
+//	//pinlint:holds mu       — function asserts its caller holds the
+//	                           named mutex (lockcheck trusts it); the
+//	                           `xxxLocked` name suffix implies the same
+//	//pinlint:allow <names>  — suppress the named analyzers (or all,
+//	                           when no names are given) on this line;
+//	                           use sparingly, with a justification in
+//	                           the trailing text
+//
+// Struct fields documented with a `guarded by <mutex>` comment are
+// checked by lockcheck: every access must happen with the named sibling
+// mutex held on every path (a conservative, intra-function analysis).
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// An Analyzer describes one static check. It mirrors
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //pinlint:allow suppressions.
+	Name string
+	// Doc is the analyzer's help text; the first line is its summary.
+	Doc string
+	// Run applies the analyzer to one package, reporting diagnostics
+	// through the pass.
+	Run func(*Pass) error
+}
+
+// A Pass provides one analyzer run over one package: its syntax, type
+// information, and the module-wide annotation index.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Index holds pinlint annotations for every function of every
+	// loaded package, so cross-package annotation lookups (is the
+	// callee a hotpath function?) work without facts machinery.
+	Index *Index
+
+	diags []Diagnostic
+}
+
+// A Diagnostic is one reported violation.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies the analyzer to pkg and returns its diagnostics, with
+// //pinlint:allow-suppressed lines already filtered out and the rest in
+// source order.
+func Run(a *Analyzer, pkg *Package, index *Index) ([]Diagnostic, error) {
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+		Index:     index,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %w", a.Name, err)
+	}
+	allowed := allowedLines(pkg)
+	kept := pass.diags[:0]
+	for _, d := range pass.diags {
+		if !allowed.allows(pkg.Fset.Position(d.Pos), a.Name) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].Pos < kept[j].Pos })
+	return kept, nil
+}
+
+// All returns the full pinlint analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{HotPath, NoRand, LockCheck, CycleBoundary, ErrWrap}
+}
+
+// errorType is the predeclared error interface, for implements checks.
+var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// implementsError reports whether t (or *t) satisfies the error
+// interface.
+func implementsError(t types.Type) bool {
+	return types.Implements(t, errorType) || types.Implements(types.NewPointer(t), errorType)
+}

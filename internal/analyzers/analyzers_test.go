@@ -1,0 +1,73 @@
+package analyzers_test
+
+import (
+	"go/types"
+	"testing"
+
+	"pinbcast/internal/analyzers"
+	"pinbcast/internal/analyzers/checktest"
+)
+
+// Each analyzer is proven against a bad fixture (every diagnostic
+// matched by a // want expectation, so the flagged line count is > 0)
+// and a good fixture (zero diagnostics).
+
+func TestHotPath(t *testing.T) {
+	checktest.Run(t, analyzers.HotPath, "testdata/src/hotpathbad")
+	checktest.Run(t, analyzers.HotPath, "testdata/src/hotpathgood")
+}
+
+func TestNoRand(t *testing.T) {
+	checktest.Run(t, analyzers.NoRand, "testdata/src/norandbad")
+	checktest.Run(t, analyzers.NoRand, "testdata/src/norandgood")
+}
+
+func TestLockCheck(t *testing.T) {
+	checktest.Run(t, analyzers.LockCheck, "testdata/src/lockcheckbad")
+	checktest.Run(t, analyzers.LockCheck, "testdata/src/lockcheckgood")
+}
+
+func TestCycleBoundary(t *testing.T) {
+	checktest.Run(t, analyzers.CycleBoundary, "testdata/src/cycleboundarybad")
+	checktest.Run(t, analyzers.CycleBoundary, "testdata/src/cycleboundarygood")
+}
+
+func TestErrWrap(t *testing.T) {
+	checktest.Run(t, analyzers.ErrWrap, "testdata/src/errwrapbad")
+	checktest.Run(t, analyzers.ErrWrap, "testdata/src/errwrapgood")
+}
+
+// TestFuncKey pins the symbol-key format the annotation index relies
+// on for cross-package lookups: methods are keyed without the pointer,
+// so source-checked and export-data objects agree.
+func TestFuncKey(t *testing.T) {
+	pkgs, _, err := analyzers.LoadAndIndex("testdata/src/cycleboundarygood", ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	fn, ok := pkg.Types.Scope().Lookup("New").(*types.Func)
+	if !ok {
+		t.Fatal("New not found")
+	}
+	if got, want := analyzers.FuncKey(fn), pkg.PkgPath+".New"; got != want {
+		t.Errorf("FuncKey(New) = %q, want %q", got, want)
+	}
+	station, ok := pkg.Types.Scope().Lookup("station").(*types.TypeName)
+	if !ok {
+		t.Fatal("station not found")
+	}
+	named := station.Type().(*types.Named)
+	for i := 0; i < named.NumMethods(); i++ {
+		m := named.Method(i)
+		if m.Name() != "swap" {
+			continue
+		}
+		if got, want := analyzers.FuncKey(m), pkg.PkgPath+".(station).swap"; got != want {
+			t.Errorf("FuncKey(swap) = %q, want %q", got, want)
+		}
+	}
+}

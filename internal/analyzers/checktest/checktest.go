@@ -1,0 +1,144 @@
+// Package checktest runs pinlint analyzers over fixture packages and
+// compares their diagnostics against `// want "regexp"` expectations,
+// mirroring golang.org/x/tools/go/analysis/analysistest on the
+// standard library alone.
+//
+// A fixture line may carry several expectations:
+//
+//	x := rand.Intn(6) // want "global math/rand"
+//
+// Every diagnostic must match an expectation on its line, and every
+// expectation must be matched by exactly one diagnostic.
+package checktest
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"pinbcast/internal/analyzers"
+)
+
+var wantRE = regexp.MustCompile(`// want (.*)$`)
+
+// Run loads the fixture package at dir (relative to the test's working
+// directory), applies the analyzer, and reports mismatches between its
+// diagnostics and the fixture's want comments as test errors.
+func Run(t *testing.T, a *analyzers.Analyzer, dir string) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, index, err := analyzers.LoadAndIndex(abs, ".")
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	for _, pkg := range pkgs {
+		diags, err := analyzers.Run(a, pkg, index)
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, pkg.PkgPath, err)
+		}
+		wants := collectWants(t, pkg.Fset, pkg)
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			if !wants.match(pos, d.Message) {
+				t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+			}
+		}
+		wants.reportUnmatched(t)
+	}
+}
+
+type wantExpectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+type wantSet struct{ list []*wantExpectation }
+
+// collectWants scans the fixture sources for want comments. It reads
+// the files directly rather than the AST so expectations survive in
+// any comment position.
+func collectWants(t *testing.T, fset *token.FileSet, pkg *analyzers.Package) *wantSet {
+	t.Helper()
+	set := &wantSet{}
+	seen := map[string]bool{}
+	for _, f := range pkg.Files {
+		name := fset.Position(f.Pos()).Filename
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		data, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, lineText := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(lineText)
+			if m == nil {
+				continue
+			}
+			for _, pattern := range splitQuoted(t, name, i+1, m[1]) {
+				re, err := regexp.Compile(pattern)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", name, i+1, pattern, err)
+				}
+				set.list = append(set.list, &wantExpectation{file: name, line: i + 1, re: re})
+			}
+		}
+	}
+	return set
+}
+
+// splitQuoted extracts the quoted regexps of one want comment.
+func splitQuoted(t *testing.T, file string, line int, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		if s[0] != '"' {
+			t.Fatalf("%s:%d: malformed want comment near %q", file, line, s)
+		}
+		end := 1
+		for end < len(s) && (s[end] != '"' || s[end-1] == '\\') {
+			end++
+		}
+		if end == len(s) {
+			t.Fatalf("%s:%d: unterminated want pattern", file, line)
+		}
+		pattern, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			t.Fatalf("%s:%d: bad want pattern %s: %v", file, line, s[:end+1], err)
+		}
+		out = append(out, pattern)
+		s = strings.TrimSpace(s[end+1:])
+	}
+	return out
+}
+
+func (ws *wantSet) match(pos token.Position, message string) bool {
+	for _, w := range ws.list {
+		if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func (ws *wantSet) reportUnmatched(t *testing.T) {
+	t.Helper()
+	for _, w := range ws.list {
+		if !w.matched {
+			t.Errorf("%s: no diagnostic matched want %q", fmt.Sprintf("%s:%d", w.file, w.line), w.re)
+		}
+	}
+}

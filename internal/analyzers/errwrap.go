@@ -1,0 +1,162 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ErrWrap enforces the typed-sentinel error discipline established by
+// the internal/bcerr hierarchy (ErrBadSpec, ErrInfeasible,
+// ErrAdmission, ErrDegraded, ...):
+//
+//   - fmt.Errorf must wrap error arguments with %w, never format them
+//     away with %v or %s — otherwise errors.Is callers silently stop
+//     matching;
+//   - sentinel errors must be compared with errors.Is/errors.As, never
+//     with == or != (or switch cases), which miss wrapped values. A
+//     sentinel is any package-level error variable named Err* (or EOF,
+//     covering io.EOF), in this module or the standard library.
+//
+// Comparisons against nil are, of course, fine.
+var ErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc:  "require %w wrapping and errors.Is/As for sentinel errors",
+	Run:  runErrWrap,
+}
+
+func runErrWrap(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op == token.EQL || n.Op == token.NEQ {
+					checkSentinelCompare(pass, n)
+				}
+			case *ast.SwitchStmt:
+				checkSentinelSwitch(pass, n)
+			case *ast.CallExpr:
+				checkErrorfWrap(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// sentinelOf resolves expr to a package-level sentinel error variable,
+// or nil.
+func sentinelOf(pass *Pass, expr ast.Expr) *types.Var {
+	var obj types.Object
+	switch e := unparen(expr).(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[e]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[e.Sel]
+	default:
+		return nil
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	if !strings.HasPrefix(v.Name(), "Err") && v.Name() != "EOF" {
+		return nil
+	}
+	if !implementsError(v.Type()) {
+		return nil
+	}
+	return v
+}
+
+func checkSentinelCompare(pass *Pass, n *ast.BinaryExpr) {
+	for _, side := range []ast.Expr{n.X, n.Y} {
+		if s := sentinelOf(pass, side); s != nil {
+			pass.Reportf(n.OpPos, "comparison %s sentinel %s misses wrapped errors; use errors.Is", n.Op, s.Name())
+			return
+		}
+	}
+}
+
+// checkSentinelSwitch flags `switch err { case ErrX: }`, the switch
+// spelling of ==.
+func checkSentinelSwitch(pass *Pass, n *ast.SwitchStmt) {
+	if n.Tag == nil {
+		return
+	}
+	if t := pass.TypesInfo.TypeOf(n.Tag); t == nil || !implementsError(t) {
+		return
+	}
+	for _, clause := range n.Body.List {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if s := sentinelOf(pass, e); s != nil {
+				pass.Reportf(e.Pos(), "switch case on sentinel %s misses wrapped errors; use errors.Is", s.Name())
+			}
+		}
+	}
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that format an error argument
+// with a verb other than %w.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	callee := calleeFunc(pass.TypesInfo, call)
+	if callee == nil || callee.Name() != "Errorf" || callee.Pkg() == nil || callee.Pkg().Path() != "fmt" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	verbs := formatVerbs(constant.StringVal(tv.Value))
+	for i, arg := range call.Args[1:] {
+		if i >= len(verbs) {
+			break
+		}
+		t := pass.TypesInfo.TypeOf(arg)
+		if t == nil || !implementsError(t) {
+			continue
+		}
+		if isNilExpr(pass, arg) {
+			continue
+		}
+		if verbs[i] != 'w' {
+			pass.Reportf(arg.Pos(), "error formatted with %%%c instead of %%w; errors.Is/As will not match the wrapped sentinel", verbs[i])
+		}
+	}
+}
+
+// formatVerbs extracts the verb letter consumed by each successive
+// argument of a Printf-style format string (width/precision stars are
+// not handled and simply shift attribution — rare enough in practice).
+func formatVerbs(format string) []byte {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		// Skip flags, width, precision and index components.
+		for i < len(format) && strings.ContainsRune("+-# 0.123456789[]", rune(format[i])) {
+			i++
+		}
+		if i >= len(format) || format[i] == '%' {
+			continue
+		}
+		verbs = append(verbs, format[i])
+	}
+	return verbs
+}
+
+func isNilExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.IsNil()
+}

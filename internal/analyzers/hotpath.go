@@ -1,0 +1,325 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotPath rejects allocation-prone constructs inside functions
+// annotated //pinlint:hotpath. These are the serve/fanout/receive/codec
+// paths whose benchmarks assert 0 allocs/op; the analyzer catches a
+// regression before the benchmark does.
+//
+// Inside a hotpath function the following are diagnosed:
+//
+//   - append to a local slice that was not made with an explicit
+//     capacity in the same function (appending to a reslice like
+//     buf[:0], to a parameter, or to a struct field follows the
+//     caller-owned-buffer discipline and is allowed);
+//   - string concatenation (+ / += on strings);
+//   - map and slice composite literals, &T{...} and new(T) heap
+//     literals, and closure (func) literals;
+//   - implicit boxing of a concrete value into an interface, in call
+//     arguments, assignments, returns, and channel sends;
+//   - any call into package fmt;
+//   - go statements (a goroutine spawn per slot is an allocation and a
+//     scheduling hazard);
+//   - calls to module-local functions that are not themselves
+//     annotated //pinlint:hotpath, so the 0-alloc property is closed
+//     over the whole call graph. Standard-library calls (other than
+//     fmt) and dynamic interface-method calls are exempt.
+//
+// Cold paths inside hot functions (error construction, setup before
+// the loop, amortized refills) are waived line by line with
+// //pinlint:allow hotpath and a justification.
+var HotPath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "reject allocation-prone constructs in //pinlint:hotpath functions",
+	Run:  runHotPath,
+}
+
+func runHotPath(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok || !pass.Index.Has(fn, "hotpath") {
+				continue
+			}
+			checkHotFunc(pass, fd, fn)
+		}
+	}
+	return nil
+}
+
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl, fn *types.Func) {
+	info := pass.TypesInfo
+	capped := cappedSlices(info, fd.Body)
+	results := fn.Signature().Results()
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkHotCall(pass, fn, n, capped)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(info.TypeOf(n.X)) {
+				pass.Reportf(n.OpPos, "string concatenation in hotpath function %s allocates", fn.Name())
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isString(info.TypeOf(n.Lhs[0])) {
+				pass.Reportf(n.TokPos, "string concatenation in hotpath function %s allocates", fn.Name())
+			}
+			checkBoxedAssign(pass, fn, n)
+		case *ast.CompositeLit:
+			switch info.TypeOf(n).Underlying().(type) {
+			case *types.Map:
+				pass.Reportf(n.Pos(), "map literal in hotpath function %s allocates", fn.Name())
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "slice literal in hotpath function %s allocates", fn.Name())
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "&composite literal in hotpath function %s escapes to the heap", fn.Name())
+				}
+			}
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure literal in hotpath function %s allocates", fn.Name())
+			return false // the closure body is the closure's problem
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "go statement in hotpath function %s spawns per-call", fn.Name())
+		case *ast.SendStmt:
+			if ch, ok := info.TypeOf(n.Chan).Underlying().(*types.Chan); ok {
+				checkBoxing(pass, fn, n.Value, ch.Elem())
+			}
+		case *ast.ReturnStmt:
+			if results != nil && len(n.Results) == results.Len() {
+				for i, res := range n.Results {
+					checkBoxing(pass, fn, res, results.At(i).Type())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkHotCall diagnoses one call expression inside a hotpath function.
+func checkHotCall(pass *Pass, caller *types.Func, call *ast.CallExpr, capped map[types.Object]bool) {
+	info := pass.TypesInfo
+
+	// Conversions are not calls.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return
+	}
+
+	// Builtins: append gets the capacity discipline, new allocates.
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "append":
+				checkAppend(pass, caller, call, capped)
+			case "new":
+				pass.Reportf(call.Pos(), "new(T) in hotpath function %s allocates", caller.Name())
+			}
+			return
+		}
+	}
+
+	callee := calleeFunc(info, call)
+	if callee == nil {
+		// Calling a function value or other dynamic target: the static
+		// analysis cannot follow it.
+		return
+	}
+	sig := callee.Signature()
+	if recv := sig.Recv(); recv != nil {
+		if _, ok := recv.Type().Underlying().(*types.Interface); ok {
+			// Dynamic dispatch: unresolvable statically, exempt.
+			checkCallArgs(pass, caller, call, sig)
+			return
+		}
+	}
+	if pkg := callee.Pkg(); pkg != nil && pkg.Path() == "fmt" {
+		pass.Reportf(call.Pos(), "call to %s.%s in hotpath function %s (fmt allocates)", pkg.Name(), callee.Name(), caller.Name())
+		return
+	}
+	if pass.Index.InModule(callee) && !pass.Index.Has(callee, "hotpath") {
+		pass.Reportf(call.Pos(), "hotpath function %s calls %s, which is not annotated //pinlint:hotpath", caller.Name(), callee.Name())
+	}
+	checkCallArgs(pass, caller, call, sig)
+}
+
+// checkCallArgs flags concrete arguments passed to interface
+// parameters (boxing).
+func checkCallArgs(pass *Pass, caller *types.Func, call *ast.CallExpr, sig *types.Signature) {
+	params := sig.Params()
+	if params == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		checkBoxing(pass, caller, arg, pt)
+	}
+}
+
+// checkBoxedAssign flags assignments that box a concrete value into an
+// interface-typed destination.
+func checkBoxedAssign(pass *Pass, caller *types.Func, n *ast.AssignStmt) {
+	if n.Tok != token.ASSIGN || len(n.Lhs) != len(n.Rhs) {
+		return
+	}
+	for i, lhs := range n.Lhs {
+		if lt := pass.TypesInfo.TypeOf(lhs); lt != nil {
+			checkBoxing(pass, caller, n.Rhs[i], lt)
+		}
+	}
+}
+
+// checkBoxing reports expr if its concrete value is converted to an
+// interface destination type.
+func checkBoxing(pass *Pass, caller *types.Func, expr ast.Expr, dst types.Type) {
+	if dst == nil {
+		return
+	}
+	if _, ok := dst.Underlying().(*types.Interface); !ok {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.IsNil() || tv.Type == nil {
+		return
+	}
+	if _, isIface := tv.Type.Underlying().(*types.Interface); isIface {
+		return // interface to interface: no new allocation
+	}
+	if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+		return // pointers box without copying the pointee
+	}
+	if tv.Value != nil {
+		// Constants box to interned or rodata-backed values; flagging
+		// every literal argument would drown the signal.
+		return
+	}
+	pass.Reportf(expr.Pos(), "value of type %s boxed into interface %s in hotpath function %s",
+		tv.Type, dst, caller.Name())
+}
+
+// checkAppend enforces the preallocated-capacity discipline: appending
+// to a fresh local slice is only allowed when the function made it
+// with an explicit capacity.
+func checkAppend(pass *Pass, caller *types.Func, call *ast.CallExpr, capped map[types.Object]bool) {
+	if len(call.Args) == 0 {
+		return
+	}
+	switch dst := unparen(call.Args[0]).(type) {
+	case *ast.SliceExpr:
+		return // append(buf[:0], ...): reuse of an owned buffer
+	case *ast.SelectorExpr, *ast.IndexExpr:
+		return // struct-field or element buffer: owner preallocates
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[dst]
+		if obj == nil {
+			return
+		}
+		if v, ok := obj.(*types.Var); ok && v.IsField() {
+			return
+		}
+		if isParam(caller, obj) || capped[obj] {
+			return
+		}
+		pass.Reportf(call.Pos(), "append to %s in hotpath function %s may grow without preallocated capacity", dst.Name, caller.Name())
+	default:
+		pass.Reportf(call.Pos(), "append in hotpath function %s may grow without preallocated capacity", caller.Name())
+	}
+}
+
+// cappedSlices collects local variables initialized from a make call
+// with an explicit capacity anywhere in the body.
+func cappedSlices(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	capped := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != len(assign.Rhs) {
+			return true
+		}
+		for i, rhs := range assign.Rhs {
+			call, ok := unparen(rhs).(*ast.CallExpr)
+			if !ok || len(call.Args) != 3 {
+				continue
+			}
+			id, ok := unparen(call.Fun).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if b, ok := info.Uses[id].(*types.Builtin); !ok || b.Name() != "make" {
+				continue
+			}
+			if lhs, ok := assign.Lhs[i].(*ast.Ident); ok {
+				if obj := info.ObjectOf(lhs); obj != nil {
+					capped[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return capped
+}
+
+// calleeFunc resolves the static callee of a call, or nil for dynamic
+// calls.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+func isParam(fn *types.Func, obj types.Object) bool {
+	sig := fn.Signature()
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sig.Params().At(i) == obj {
+			return true
+		}
+	}
+	if recv := sig.Recv(); recv != nil && recv == obj {
+		return true
+	}
+	return false
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

@@ -1,0 +1,161 @@
+package analyzers
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one loaded, type-checked target package.
+type Package struct {
+	PkgPath   string
+	Dir       string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// Load resolves the patterns with `go list -export` (run in dir, which
+// must lie inside a module), then parses and type-checks every matched
+// package from source. Dependencies — including dependencies between
+// matched packages — are imported from compiler export data out of the
+// build cache, the same way `go vet` loads types, so loading works
+// fully offline. The returned packages are sorted by import path; the
+// second result is the module path.
+func Load(dir string, patterns ...string) ([]*Package, string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,Name,Export,GoFiles,Standard,DepOnly,Module,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, "", fmt.Errorf("go list %s: %w\n%s", strings.Join(patterns, " "), err, stderr.Bytes())
+	}
+
+	exports := map[string]string{} // import path -> export data file
+	var targets []*listedPackage
+	module := ""
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listedPackage)
+		if err := dec.Decode(p); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, "", fmt.Errorf("go list: decoding output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, "", fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			targets = append(targets, p)
+			if module == "" && p.Module != nil {
+				module = p.Module.Path
+			}
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	var pkgs []*Package
+	for _, t := range targets {
+		pkg, err := typeCheck(fset, imp, t)
+		if err != nil {
+			return nil, "", err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, module, nil
+}
+
+// typeCheck parses one listed package's (non-test) files and
+// type-checks them against the shared importer.
+func typeCheck(fset *token.FileSet, imp types.Importer, t *listedPackage) (*Package, error) {
+	var files []*ast.File
+	for _, name := range t.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(t.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", t.ImportPath, err)
+	}
+	return &Package{
+		PkgPath:   t.ImportPath,
+		Dir:       t.Dir,
+		Fset:      fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}
+
+// LoadAndIndex loads the patterns and builds the module-wide annotation
+// index over every loaded package in one step — the standard prelude
+// for running analyzers.
+func LoadAndIndex(dir string, patterns ...string) ([]*Package, *Index, error) {
+	pkgs, module, err := Load(dir, patterns...)
+	if err != nil {
+		return nil, nil, err
+	}
+	index := NewIndex(module)
+	for _, pkg := range pkgs {
+		index.AddPackage(pkg)
+	}
+	return pkgs, index, nil
+}

@@ -1,0 +1,453 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// LockCheck enforces `guarded by` field comments: a struct field
+// documented
+//
+//	gen *generation // guarded by mu
+//
+// may only be accessed while the named sibling mutex is held. The
+// analysis is intra-package and conservative: within each function it
+// tracks Lock/RLock and Unlock/RUnlock calls on every path (branches
+// merge by intersection, so a conditionally taken lock does not count),
+// and flags any guarded access outside a held region.
+//
+// Escape hatches, in keeping with the codebase's conventions:
+//
+//   - functions annotated //pinlint:holds <mu> assert their caller
+//     holds <mu> (the `xxxLocked` name-suffix convention asserts the
+//     same for every mutex);
+//   - accesses through a receiver or local that the function itself
+//     just constructed (s := &Station{...}) are exempt — the value is
+//     not yet shared;
+//   - a deferred Unlock keeps the lock held to the end of the
+//     function, as it does dynamically.
+var LockCheck = &Analyzer{
+	Name: "lockcheck",
+	Doc:  "check that `guarded by mu` fields are accessed with the mutex held",
+	Run:  runLockCheck,
+}
+
+var guardedByRE = regexp.MustCompile(`guarded by (\w+)`)
+
+func runLockCheck(pass *Pass) error {
+	guards := guardedFields(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			w := &lockWalker{
+				pass:    pass,
+				guards:  guards,
+				trusted: trustedMutexes(pass, fn),
+				local:   locallyConstructed(pass, fd.Body),
+			}
+			w.stmts(fd.Body.List, map[string]bool{})
+		}
+	}
+	return nil
+}
+
+// guardedFields maps struct field objects to the name of the sibling
+// mutex that guards them, from `guarded by <mu>` field comments.
+func guardedFields(pass *Pass) map[types.Object]string {
+	guards := map[types.Object]string{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := guardName(field.Doc)
+				if mu == "" {
+					mu = guardName(field.Comment)
+				}
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						guards[obj] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+func guardName(cg *ast.CommentGroup) string {
+	if cg == nil {
+		return ""
+	}
+	if m := guardedByRE.FindStringSubmatch(cg.Text()); m != nil {
+		return m[1]
+	}
+	return ""
+}
+
+// trustedMutexes returns the mutex names the function asserts are held
+// by its caller: the //pinlint:holds argument, or every mutex ("*")
+// for the xxxLocked naming convention.
+func trustedMutexes(pass *Pass, fn *types.Func) map[string]bool {
+	trusted := map[string]bool{}
+	if strings.HasSuffix(fn.Name(), "Locked") {
+		trusted["*"] = true
+	}
+	if arg := pass.Index.Arg(fn, "holds"); arg != "" {
+		for _, mu := range strings.Fields(arg) {
+			trusted[mu] = true
+		}
+	}
+	return trusted
+}
+
+// locallyConstructed collects objects assigned a fresh composite
+// literal or new(T) in this function: values not yet visible to other
+// goroutines, whose guarded fields may be touched lock-free.
+func locallyConstructed(pass *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	local := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != len(assign.Rhs) {
+			return true
+		}
+		for i, rhs := range assign.Rhs {
+			if !isFreshValue(pass, rhs) {
+				continue
+			}
+			if id, ok := assign.Lhs[i].(*ast.Ident); ok {
+				if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+					local[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return local
+}
+
+func isFreshValue(pass *Pass, e ast.Expr) bool {
+	switch e := unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		_, lit := e.X.(*ast.CompositeLit)
+		return e.Op.String() == "&" && lit
+	case *ast.CallExpr:
+		if id, ok := unparen(e.Fun).(*ast.Ident); ok {
+			if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "new" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// lockWalker carries one function's analysis context.
+type lockWalker struct {
+	pass    *Pass
+	guards  map[types.Object]string
+	trusted map[string]bool
+	local   map[types.Object]bool
+}
+
+// stmts walks a statement list, threading the held-lock set through it,
+// and reports whether the list always terminates (return/branch/panic)
+// rather than falling through.
+func (w *lockWalker) stmts(list []ast.Stmt, held map[string]bool) bool {
+	for _, s := range list {
+		if w.stmt(s, held) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *lockWalker) stmt(s ast.Stmt, held map[string]bool) bool {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		w.expr(s.X, held)
+		if call, ok := unparen(s.X).(*ast.CallExpr); ok {
+			if id, ok := unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e, held)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e, held)
+		}
+	case *ast.IncDecStmt:
+		w.expr(s.X, held)
+	case *ast.SendStmt:
+		w.expr(s.Chan, held)
+		w.expr(s.Value, held)
+	case *ast.DeclStmt:
+		ast.Inspect(s, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				w.expr(e, held)
+				return false
+			}
+			return true
+		})
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e, held)
+		}
+		return true
+	case *ast.BranchStmt:
+		return true
+	case *ast.DeferStmt:
+		// A deferred Unlock releases at function end; the region stays
+		// held for analysis. Deferred closure bodies run under unknown
+		// state and are skipped.
+	case *ast.GoStmt:
+		// The goroutine runs later, without the current locks.
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.stmts(lit.Body.List, map[string]bool{})
+		}
+	case *ast.BlockStmt:
+		return w.stmts(s.List, held)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		w.expr(s.Cond, held)
+		thenHeld := clone(held)
+		thenTerm := w.stmts(s.Body.List, thenHeld)
+		elseHeld := clone(held)
+		elseTerm := false
+		if s.Else != nil {
+			elseTerm = w.stmt(s.Else, elseHeld)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return true
+		case thenTerm:
+			replace(held, elseHeld)
+		case elseTerm:
+			replace(held, thenHeld)
+		default:
+			replace(held, intersect(thenHeld, elseHeld))
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			w.expr(s.Cond, held)
+		}
+		bodyHeld := clone(held)
+		w.stmts(s.Body.List, bodyHeld)
+		if s.Post != nil {
+			w.stmt(s.Post, bodyHeld)
+		}
+		// After the loop: it may have run zero times, so only locks
+		// held both before and at body exit survive.
+		replace(held, intersect(held, bodyHeld))
+	case *ast.RangeStmt:
+		w.expr(s.X, held)
+		bodyHeld := clone(held)
+		w.stmts(s.Body.List, bodyHeld)
+		replace(held, intersect(held, bodyHeld))
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		w.branches(s, held)
+	}
+	return false
+}
+
+// branches handles switch/select: each clause starts from the entry
+// state; the fall-through state is the intersection of the entry state
+// and every non-terminating clause exit.
+func (w *lockWalker) branches(s ast.Stmt, held map[string]bool) {
+	var body *ast.BlockStmt
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			w.expr(s.Tag, held)
+		}
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		w.stmt(s.Assign, held)
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+	}
+	out := clone(held)
+	for _, clause := range body.List {
+		clauseHeld := clone(held)
+		var list []ast.Stmt
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				w.expr(e, clauseHeld)
+			}
+			list = c.Body
+		case *ast.CommClause:
+			if c.Comm != nil {
+				w.stmt(c.Comm, clauseHeld)
+			}
+			list = c.Body
+		}
+		if !w.stmts(list, clauseHeld) {
+			replace(out, intersect(out, clauseHeld))
+		}
+	}
+	replace(held, out)
+}
+
+// expr scans one expression in evaluation order for lock transitions
+// and guarded accesses.
+func (w *lockWalker) expr(e ast.Expr, held map[string]bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A closure may run at any time; analyze it lock-free.
+			w.stmts(n.Body.List, map[string]bool{})
+			return false
+		case *ast.CallExpr:
+			if key, op, ok := w.lockOp(n); ok {
+				switch op {
+				case "Lock", "RLock":
+					held[key] = true
+				case "Unlock", "RUnlock":
+					delete(held, key)
+				}
+			}
+		case *ast.SelectorExpr:
+			w.checkAccess(n, held)
+		}
+		return true
+	})
+}
+
+// lockOp recognizes <base>.<mu>.Lock() and friends, returning the held
+// set key "base.mu".
+func (w *lockWalker) lockOp(call *ast.CallExpr) (key, op string, ok bool) {
+	sel, isSel := unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	op = sel.Sel.Name
+	switch op {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	fn, isFn := w.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	muSel, isSel := unparen(sel.X).(*ast.SelectorExpr)
+	if !isSel {
+		// mu.Lock() on a package-level or local mutex variable.
+		if id, isID := unparen(sel.X).(*ast.Ident); isID {
+			return id.Name, op, true
+		}
+		return "", "", false
+	}
+	return exprKey(muSel.X) + "." + muSel.Sel.Name, op, true
+}
+
+// checkAccess flags a guarded field access without its mutex held.
+func (w *lockWalker) checkAccess(sel *ast.SelectorExpr, held map[string]bool) {
+	obj := w.pass.TypesInfo.Uses[sel.Sel]
+	mu, guarded := w.guards[obj]
+	if !guarded {
+		return
+	}
+	if w.trusted["*"] || w.trusted[mu] {
+		return
+	}
+	base := unparen(sel.X)
+	if id, ok := base.(*ast.Ident); ok {
+		if w.local[w.pass.TypesInfo.ObjectOf(id)] {
+			return // freshly constructed, not yet shared
+		}
+	}
+	if held[exprKey(base)+"."+mu] {
+		return
+	}
+	w.pass.Reportf(sel.Sel.Pos(), "access to %s (guarded by %s) without %s held", sel.Sel.Name, mu, mu)
+}
+
+// exprKey renders the base of a selector chain into a comparison key:
+// "st", "c.stations[]", "call()". Indexes are erased, so distinct
+// elements of one container share a key — conservative in the
+// direction of trusting a lock taken on the same chain.
+func exprKey(e ast.Expr) string {
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprKey(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprKey(e.X) + "[]"
+	case *ast.StarExpr:
+		return exprKey(e.X)
+	case *ast.UnaryExpr:
+		return exprKey(e.X)
+	case *ast.CallExpr:
+		return "call()"
+	default:
+		return "?"
+	}
+}
+
+func clone(m map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func intersect(a, b map[string]bool) map[string]bool {
+	out := map[string]bool{}
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func replace(dst, src map[string]bool) {
+	for k := range dst {
+		delete(dst, k)
+	}
+	for k := range src {
+		dst[k] = true
+	}
+}

@@ -1,0 +1,18 @@
+// Package cycleboundarybad exercises the cycleboundary diagnostics.
+package cycleboundarybad
+
+type station struct{ gen int }
+
+// swap installs the next program generation.
+//
+//pinlint:cycle-boundary
+func (s *station) swap() { s.gen++ }
+
+// serveLoop is the slot-serving goroutine: it must never mutate.
+func (s *station) serveLoop() {
+	s.swap() // want "serveLoop calls cycle-boundary mutator swap"
+}
+
+func helper(s *station) {
+	s.swap() // want "helper calls cycle-boundary mutator swap"
+}

@@ -1,0 +1,29 @@
+// Package cycleboundarygood mutates only through the admission seams
+// and annotated helpers.
+package cycleboundarygood
+
+type station struct{ gen int }
+
+//pinlint:cycle-boundary
+func (s *station) swap() { s.gen++ }
+
+// rebuild is itself a cycle-boundary helper, so it may call swap.
+//
+//pinlint:cycle-boundary
+func (s *station) rebuild() { s.swap() }
+
+// Admit is an admission seam by name.
+func (s *station) Admit() { s.rebuild() }
+
+// Evict is an admission seam by name.
+func (s *station) Evict() { s.swap() }
+
+// FailChannel is a failover seam by name.
+func (s *station) FailChannel() { s.swap() }
+
+// New constructs the initial generation.
+func New() *station {
+	s := &station{}
+	s.swap()
+	return s
+}

@@ -1,0 +1,35 @@
+// Package errwrapbad exercises the errwrap diagnostics.
+package errwrapbad
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+var ErrBadSpec = errors.New("invalid specification")
+
+func check(err error) bool {
+	return err == ErrBadSpec // want "comparison == sentinel ErrBadSpec misses wrapped errors; use errors.Is"
+}
+
+func checkEOF(err error) bool {
+	return err != io.EOF // want "comparison != sentinel EOF misses wrapped errors"
+}
+
+func classify(err error) string {
+	switch err {
+	case ErrBadSpec: // want "switch case on sentinel ErrBadSpec"
+		return "spec"
+	default:
+		return "other"
+	}
+}
+
+func wrap(name string) error {
+	return fmt.Errorf("file %q: %v", name, ErrBadSpec) // want "error formatted with %v instead of %w"
+}
+
+func wrapString(err error) error {
+	return fmt.Errorf("outer: %s", err) // want "error formatted with %s instead of %w"
+}

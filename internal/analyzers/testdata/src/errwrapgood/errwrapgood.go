@@ -1,0 +1,28 @@
+// Package errwrapgood wraps and matches sentinels correctly.
+package errwrapgood
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+var ErrBadSpec = errors.New("invalid specification")
+
+func check(err error) bool { return errors.Is(err, ErrBadSpec) }
+
+func checkEOF(err error) bool { return errors.Is(err, io.EOF) }
+
+func wrap(name string) error {
+	return fmt.Errorf("file %q: %w", name, ErrBadSpec)
+}
+
+func describe(err error) string {
+	return fmt.Sprintf("failed: %v", err) // Sprintf does not wrap; %v is fine
+}
+
+func nilCompare(err error) bool { return err == nil }
+
+func message(err error, detail string) error {
+	return fmt.Errorf("detail %q: %w", detail, err)
+}

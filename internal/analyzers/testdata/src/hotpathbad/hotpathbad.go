@@ -1,0 +1,47 @@
+// Package hotpathbad exercises every hotpath diagnostic.
+package hotpathbad
+
+import "fmt"
+
+type pair struct{ a, b int }
+
+func pairValue() pair { return pair{} }
+
+func cold(b []byte) {}
+
+// emit is the per-slot path.
+//
+//pinlint:hotpath
+func emit(out []byte, items []int) []byte {
+	var buf []byte
+	for _, it := range items {
+		buf = append(buf, byte(it)) // want "append to buf in hotpath function emit may grow without preallocated capacity"
+	}
+	s := "slot: " + string(buf) // want "string concatenation"
+	s += "!"                    // want "string concatenation"
+	_ = s
+	m := map[string]int{} // want "map literal"
+	_ = m
+	sl := []int{1, 2} // want "slice literal"
+	_ = sl
+	p := &pair{} // want "composite literal in hotpath function emit escapes"
+	_ = p
+	q := new(pair) // want "new.T. in hotpath function emit allocates"
+	_ = q
+	f := func() {} // want "closure literal"
+	_ = f
+	fmt.Println() // want "call to fmt.Println"
+	cold(out)     // want "calls cold, which is not annotated"
+	var sink interface{}
+	sink = pairValue() // want "boxed into interface" "calls pairValue"
+	_ = sink
+	go cold(nil) // want "go statement" "calls cold"
+	return out
+}
+
+// boxedReturn returns a concrete value through an interface result.
+//
+//pinlint:hotpath
+func boxedReturn() interface{} {
+	return pairValue() // want "boxed into interface" "calls pairValue"
+}

@@ -1,0 +1,46 @@
+// Package hotpathgood contains hotpath-clean code: every construct the
+// analyzer must accept.
+package hotpathgood
+
+type ring struct{ scratch []byte }
+
+// emit appends into caller-owned and explicitly capped buffers only.
+//
+//pinlint:hotpath
+func emit(dst []byte, payload []byte) []byte {
+	dst = append(dst, payload...) // parameter: caller preallocates
+	tmp := make([]byte, 0, 16)
+	tmp = append(tmp, payload...) // explicit capacity in this function
+	if len(tmp) > 0 {
+		dst = append(dst, tmp[0])
+	}
+	return dst
+}
+
+// refill reuses the ring's scratch buffer and calls only hotpath
+// functions.
+//
+//pinlint:hotpath
+func refill(r *ring, payload []byte) {
+	r.scratch = append(r.scratch[:0], payload...)
+	next(r)
+}
+
+//pinlint:hotpath
+func next(r *ring) {}
+
+// setup is not annotated: allocation-heavy code is fine here.
+func setup() *ring {
+	m := map[string]int{"a": 1}
+	_ = m
+	return &ring{scratch: make([]byte, 0, 64)}
+}
+
+// waived shows the per-line escape hatch for amortized cold calls.
+//
+//pinlint:hotpath
+func waived() {
+	rebuild() //pinlint:allow hotpath — amortized: runs once per data cycle
+}
+
+func rebuild() {}

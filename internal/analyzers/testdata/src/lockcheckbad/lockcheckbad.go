@@ -1,0 +1,39 @@
+// Package lockcheckbad exercises the lockcheck diagnostics.
+package lockcheckbad
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (c *counter) bump() {
+	c.n++ // want "access to n .guarded by mu. without mu held"
+}
+
+func (c *counter) conditional(b bool) {
+	if b {
+		c.mu.Lock()
+	}
+	c.n++ // want "without mu held"
+	if b {
+		c.mu.Unlock()
+	}
+}
+
+func (c *counter) afterUnlock() int {
+	c.mu.Lock()
+	if c.n > 0 {
+		c.mu.Unlock()
+		return c.n // want "without mu held"
+	}
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) wrongMutex(other *sync.Mutex) {
+	other.Lock()
+	c.n++ // want "without mu held"
+	other.Unlock()
+}

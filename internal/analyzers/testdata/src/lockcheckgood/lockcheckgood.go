@@ -1,0 +1,56 @@
+// Package lockcheckgood accesses its guarded fields correctly: under
+// the mutex, through the trusted-caller conventions, or before the
+// value is shared.
+package lockcheckgood
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 1 // fresh value, not yet shared
+	return c
+}
+
+func (c *counter) bump() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) earlyExit(b bool) int {
+	c.mu.Lock()
+	if b {
+		c.mu.Unlock()
+		return -1
+	}
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) busy() {
+	c.mu.Lock()
+	for i := 0; i < 3; i++ {
+		c.n++
+	}
+	c.mu.Unlock()
+}
+
+// nLocked returns the count; the xxxLocked suffix asserts the caller
+// holds mu.
+func (c *counter) nLocked() int { return c.n }
+
+// snapshot reads the count during single-threaded teardown.
+//
+//pinlint:holds mu
+func (c *counter) snapshot() int { return c.n }

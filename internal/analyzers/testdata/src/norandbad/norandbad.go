@@ -1,0 +1,23 @@
+// Package norandbad exercises the norand diagnostics.
+package norandbad
+
+import (
+	"math/rand"
+	"time"
+)
+
+func roll() int {
+	return rand.Intn(6) // want "global math/rand state via rand.Intn"
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global math/rand state via rand.Shuffle"
+}
+
+func noise() float64 {
+	return rand.Float64() // want "global math/rand state via rand.Float64"
+}
+
+func wallClock() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "seeded from the wall clock"
+}

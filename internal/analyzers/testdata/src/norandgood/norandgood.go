@@ -1,0 +1,17 @@
+// Package norandgood draws all randomness from injected generators
+// with deterministic seeds.
+package norandgood
+
+import "math/rand"
+
+type model struct{ rng *rand.Rand }
+
+func newModel(seed int64) *model {
+	return &model{rng: rand.New(rand.NewSource(seed))}
+}
+
+func newModelFrom(rng *rand.Rand) *model { return &model{rng: rng} }
+
+func (m *model) roll() int { return m.rng.Intn(6) }
+
+func (m *model) noise() float64 { return m.rng.Float64() }

@@ -156,6 +156,8 @@ func (c *Client) Cancel(name string) bool {
 // a name (e.g. gleaned from an air index or an in-process slot stream).
 // Re-learning an unchanged entry is free; a genuinely new or changed
 // entry invalidates the snapshot Directory hands out.
+//
+//pinlint:hotpath
 func (c *Client) Learn(id uint32, name string) {
 	if prev, ok := c.fileName[id]; ok && prev == name {
 		return
@@ -184,12 +186,16 @@ func (c *Client) Directory() map[uint32]string {
 func (c *Client) Start() int { return c.start }
 
 // IsPending reports whether the named file has an uncompleted request.
+//
+//pinlint:hotpath
 func (c *Client) IsPending(name string) bool {
 	p, ok := c.pending[name]
 	return ok && !p.done
 }
 
 // PendingCount returns the number of uncompleted requests.
+//
+//pinlint:hotpath
 func (c *Client) PendingCount() int {
 	n := 0
 	for _, p := range c.pending {
@@ -212,6 +218,8 @@ func (c *Client) Pending() []string {
 }
 
 // Done reports whether every request has been completed.
+//
+//pinlint:hotpath
 func (c *Client) Done() bool {
 	for _, p := range c.pending {
 		if !p.done {
@@ -228,6 +236,11 @@ func (c *Client) Done() bool {
 // silently otherwise — exactly the "wait for the next useful block"
 // behaviour of §2.3. The returned Outcome classifies what the slot did
 // for the client; callers that only care about completion may ignore it.
+//
+// Observe is the per-slot protocol step; slots that do not complete a
+// request must not allocate (BenchmarkReceiverSlots).
+//
+//pinlint:hotpath
 func (c *Client) Observe(t int, raw []byte) Outcome {
 	if c.start < 0 {
 		c.start = t
@@ -266,10 +279,10 @@ func (c *Client) Observe(t int, raw []byte) Outcome {
 	if _, dup := p.blocks[c.scratch.Seq]; dup {
 		return Ignored
 	}
-	blk := c.scratch.Clone()
+	blk := c.scratch.Clone() //pinlint:allow hotpath — a block worth keeping is cloned out of scratch by design
 	p.blocks[blk.Seq] = blk
 	if len(p.blocks) >= int(blk.M) {
-		c.finish(name, p)
+		c.finish(name, p) //pinlint:allow hotpath — reconstruction, runs once per completed request
 		return Completed
 	}
 	return Stored

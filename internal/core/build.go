@@ -37,7 +37,7 @@ func BuildProgramWith(files []FileSpec, bandwidth int, solve Solver) (*Program, 
 	if err := sys.Validate(); err != nil {
 		// ValidateAll passed, so the only way the task system is invalid
 		// is a window B·Tᵢ smaller than the demand mᵢ+rᵢ.
-		return nil, fmt.Errorf("core: bandwidth %d too low (%v): %w", bandwidth, err, bcerr.ErrBandwidth)
+		return nil, fmt.Errorf("core: bandwidth %d too low (%w): %w", bandwidth, err, bcerr.ErrBandwidth)
 	}
 	if solve == nil {
 		solve = func(s pinwheel.System) (*pinwheel.Schedule, error) { return pinwheel.Solve(s, nil) }

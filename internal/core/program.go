@@ -92,11 +92,15 @@ func (p *Program) FileIndex(name string) int {
 }
 
 // FileAt returns the file index broadcast in slot t of the infinite
-// program, or Idle.
+// program, or Idle. It sits on the per-slot serve and doze paths.
+//
+//pinlint:hotpath
 func (p *Program) FileAt(t int) int { return p.Slots[t%p.Period] }
 
 // BlockAt returns the file index and dispersed block sequence number
 // transmitted in slot t (AIDA rotation), or (Idle, 0) for an idle slot.
+//
+//pinlint:hotpath
 func (p *Program) BlockAt(t int) (file, seq int) {
 	f := p.FileAt(t)
 	if f == Idle {

@@ -111,7 +111,7 @@ func DensitySweep(densities []float64, trials int, seed int64) (*Table, error) {
 				sch, err := s.Run(sys)
 				if err == nil {
 					if verr := sch.Verify(sys); verr != nil {
-						return nil, fmt.Errorf("exp: %s produced invalid schedule: %v", s.Name, verr)
+						return nil, fmt.Errorf("exp: %s produced invalid schedule: %w", s.Name, verr)
 					}
 					ok++
 				}

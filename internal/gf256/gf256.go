@@ -163,6 +163,8 @@ func Pow(a byte, e int) byte {
 // MulSlice sets dst[i] = c · src[i] for every i. dst and src must have the
 // same length; dst may alias src. It is the inner loop of matrix-vector
 // products in package gfmat and is kept allocation-free.
+//
+//pinlint:hotpath
 func MulSlice(c byte, src, dst []byte) {
 	if len(src) != len(dst) {
 		panic("gf256: MulSlice length mismatch")
@@ -182,6 +184,8 @@ func MulSlice(c byte, src, dst []byte) {
 
 // MulSliceTable sets dst[i] = t[src[i]] for a table obtained from
 // MulTable — MulSlice with the coefficient lookup hoisted out.
+//
+//pinlint:hotpath
 func MulSliceTable(t *Table, src, dst []byte) {
 	if len(src) != len(dst) {
 		panic("gf256: MulSliceTable length mismatch")
@@ -189,6 +193,7 @@ func MulSliceTable(t *Table, src, dst []byte) {
 	mulSliceTable(t, src, dst)
 }
 
+//pinlint:hotpath
 func mulSliceTable(t *Table, src, dst []byte) {
 	n := len(src) &^ 7
 	for i := 0; i < n; i += 8 {
@@ -204,6 +209,8 @@ func mulSliceTable(t *Table, src, dst []byte) {
 
 // MulAddSlice sets dst[i] ^= c · src[i] for every i, accumulating a scaled
 // row into dst. dst and src must have the same length.
+//
+//pinlint:hotpath
 func MulAddSlice(c byte, src, dst []byte) {
 	if len(src) != len(dst) {
 		panic("gf256: MulAddSlice length mismatch")
@@ -221,6 +228,8 @@ func MulAddSlice(c byte, src, dst []byte) {
 // MulAddSliceTable sets dst[i] ^= t[src[i]] for a table obtained from
 // MulTable — MulAddSlice with the coefficient lookup hoisted out, the
 // form the ida encode rows use.
+//
+//pinlint:hotpath
 func MulAddSliceTable(t *Table, src, dst []byte) {
 	if len(src) != len(dst) {
 		panic("gf256: MulAddSliceTable length mismatch")
@@ -228,6 +237,7 @@ func MulAddSliceTable(t *Table, src, dst []byte) {
 	mulAddSliceTable(t, src, dst)
 }
 
+//pinlint:hotpath
 func mulAddSliceTable(t *Table, src, dst []byte) {
 	n := len(src) &^ 7
 	for i := 0; i < n; i += 8 {
@@ -243,6 +253,8 @@ func mulAddSliceTable(t *Table, src, dst []byte) {
 
 // XorSlice sets dst[i] ^= src[i] for every i — the c == 1 accumulate,
 // eight bytes per XOR. dst and src must have the same length.
+//
+//pinlint:hotpath
 func XorSlice(src, dst []byte) {
 	if len(src) != len(dst) {
 		panic("gf256: XorSlice length mismatch")

@@ -95,13 +95,15 @@ func Unmarshal(data []byte) (*Block, error) {
 // when large enough, so a receive loop decoding into the same scratch
 // block runs allocation-free. The payload is copied out of data; b does
 // not alias it.
+//
+//pinlint:hotpath
 func UnmarshalInto(data []byte, b *Block) error {
 	if len(data) < headerSize {
 		return ErrShortBlock
 	}
 	payloadLen := binary.BigEndian.Uint32(data[14:])
 	if len(data) != headerSize+int(payloadLen) {
-		return fmt.Errorf("ida: block length %d does not match declared payload %d: %w",
+		return fmt.Errorf("ida: block length %d does not match declared payload %d: %w", //pinlint:allow hotpath — malformed frame, cold path
 			len(data), payloadLen, ErrShortBlock)
 	}
 	crc := crc32.ChecksumIEEE(data[:headerSize-4])

@@ -60,7 +60,7 @@ func EDF(s System, maxSlots int) (*Schedule, error) {
 			cycle := append([]int(nil), slots[start:]...)
 			sch := NewSchedule(cycle, "EDF")
 			if err := sch.Verify(s); err != nil {
-				return nil, fmt.Errorf("%w: cycle failed verification: %v", ErrSchedulerFailed, err)
+				return nil, fmt.Errorf("%w: cycle failed verification: %w", ErrSchedulerFailed, err)
 			}
 			return sch, nil
 		}

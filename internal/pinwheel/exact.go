@@ -82,7 +82,7 @@ func Exact(s System, maxStates int) (*Schedule, error) {
 	if err := sch.Verify(s); err != nil {
 		// The lasso cycle is valid by construction; failure here would be
 		// a bug in the search itself.
-		return nil, fmt.Errorf("pinwheel: internal error: exact cycle failed verification: %v", err)
+		return nil, fmt.Errorf("pinwheel: internal error: exact cycle failed verification: %w", err)
 	}
 	return sch, nil
 }

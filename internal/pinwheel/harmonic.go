@@ -83,7 +83,7 @@ func ScheduleChain(s System, c int, maxPeriod int) (*Schedule, error) {
 	for i, t := range s {
 		spec, _, err := specialize(c, t.B)
 		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrSchedulerFailed, err)
+			return nil, fmt.Errorf("%w: %w", ErrSchedulerFailed, err)
 		}
 		tasks[i] = specTask{idx: i, a: t.A, spec: spec}
 		if spec > period {

@@ -81,7 +81,7 @@ func Solve(s System, opts *Options) (*Schedule, error) {
 		}
 		note(err)
 	}
-	return nil, fmt.Errorf("%w (first failure: %v)", ErrSchedulerFailed, firstErr)
+	return nil, fmt.Errorf("%w (first failure: %w)", ErrSchedulerFailed, firstErr)
 }
 
 // Schedulers returns the individual portfolio members keyed by name, in

@@ -80,7 +80,7 @@ func TwoDistinct(s System) (*Schedule, error) {
 	}
 	sch := NewSchedule(slots, "TwoDistinct")
 	if err := sch.Verify(s); err != nil {
-		return nil, fmt.Errorf("pinwheel: internal error: two-distinct construction invalid: %v", err)
+		return nil, fmt.Errorf("pinwheel: internal error: two-distinct construction invalid: %w", err)
 	}
 	return sch, nil
 }

@@ -180,7 +180,7 @@ func Admit(admitted []core.FileSpec, candidate core.FileSpec, b int) ([]core.Fil
 	next := append(append([]core.FileSpec(nil), admitted...), candidate)
 	sys := core.TaskSystem(next, b)
 	if err := sys.Validate(); err != nil {
-		return nil, fmt.Errorf("rtdb: candidate infeasible at bandwidth %d (%v): %w", b, err, bcerr.ErrAdmission)
+		return nil, fmt.Errorf("rtdb: candidate infeasible at bandwidth %d (%w): %w", b, err, bcerr.ErrAdmission)
 	}
 	if !pinwheel.DensityTestCC(sys) {
 		return nil, fmt.Errorf("%w (density %.4f)", ErrRejected, sys.Density())

@@ -131,6 +131,8 @@ func (s *Server) Names() map[uint32]string { return s.names }
 // idle slot. The returned slice is the server's cached wire form,
 // shared across emissions of the same block — callers must copy before
 // mutating (fault injectors do).
+//
+//pinlint:hotpath
 func (s *Server) Emit(t int) []byte {
 	file, seq := s.prog.BlockAt(t)
 	if file == core.Idle {
@@ -141,6 +143,8 @@ func (s *Server) Emit(t int) []byte {
 
 // EmitBlock returns the unmarshaled block for slot t (for tests and
 // in-process clients), or nil for idle.
+//
+//pinlint:hotpath
 func (s *Server) EmitBlock(t int) *ida.Block {
 	file, seq := s.prog.BlockAt(t)
 	if file == core.Idle {

@@ -2,6 +2,7 @@ package pinbcast
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -408,7 +409,7 @@ func (mt *MultiTuner) drive(ctx context.Context, ch int, stop <-chan struct{}) {
 		}
 		slot, err := mt.chans[ch].src.Next()
 		if err != nil {
-			if err != io.EOF && transport.IsTimeout(err) {
+			if !errors.Is(err, io.EOF) && transport.IsTimeout(err) {
 				if mt.det.Miss(ch) {
 					mt.channelDied(ch)
 					return

@@ -122,9 +122,9 @@ func (st *Station) Negotiate(f FileSpec, contents []byte) (Contract, error) {
 	st.contents[f.Name] = contents
 	rollback := func() {
 		if had {
-			st.contents[f.Name] = prior
+			st.contents[f.Name] = prior //pinlint:allow lockcheck — closure only runs under Negotiate's buildMu
 		} else {
-			delete(st.contents, f.Name)
+			delete(st.contents, f.Name) //pinlint:allow lockcheck — closure only runs under Negotiate's buildMu
 		}
 	}
 	gen, err := st.build(files)
@@ -245,7 +245,7 @@ func (st *Station) verifyContracts(gen *generation) error {
 	for _, e := range entries {
 		worst, err := rtdb.TxnWorstLatency(gen.program, e.txn)
 		if err != nil {
-			return fmt.Errorf("pinbcast: change would void contract %q (%v): %w",
+			return fmt.Errorf("pinbcast: change would void contract %q (%w): %w",
 				e.c.Name, err, ErrAdmission)
 		}
 		if worst > e.c.WorstLatencySlots {

@@ -157,5 +157,5 @@ func solveChain(sys TaskSystem, chain []Scheduler) (*Schedule, error) {
 		}
 		return sch, nil
 	}
-	return nil, fmt.Errorf("%w (first failure: %v)", pinwheel.ErrSchedulerFailed, firstErr)
+	return nil, fmt.Errorf("%w (first failure: %w)", pinwheel.ErrSchedulerFailed, firstErr)
 }

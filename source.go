@@ -1,6 +1,7 @@
 package pinbcast
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -43,6 +44,8 @@ type Sink interface {
 //
 //	slots, _ := station.Serve(ctx)
 //	go pinbcast.Pump(slots, fanout)
+//
+//pinlint:hotpath
 func Pump(slots <-chan Slot, sink Sink) error {
 	for slot := range slots {
 		if err := sink.Send(slot); err != nil {
@@ -110,6 +113,8 @@ func DialSource(addr string) (*TCPSource, error) {
 }
 
 // Next reads the next frame off the connection.
+//
+//pinlint:hotpath
 func (s *TCPSource) Next() (Slot, error) {
 	var (
 		t       int
@@ -146,7 +151,7 @@ func Record(src Source, n int) (*Recording, error) {
 	rec := &Recording{}
 	for i := 0; i < n; i++ {
 		slot, err := src.Next()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			break
 		}
 		if err != nil {

@@ -34,7 +34,7 @@ func NewTuner(prog *Program, copies int) (*Tuner, error) {
 	}
 	ip, err := airindex.Build(prog, copies)
 	if err != nil {
-		return nil, fmt.Errorf("pinbcast: %w: %v", ErrBadSpec, err)
+		return nil, fmt.Errorf("pinbcast: %w: %w", ErrBadSpec, err)
 	}
 	t := &Tuner{prog: prog, ip: ip, idx: make(map[string]int, len(prog.Files))}
 	for i, f := range prog.Files {
