@@ -394,7 +394,7 @@ func runFanout(nFiles, nClients int, loss float64, faults int, seed int64) error
 			// Stay tuned until the broadcast winds down so the fan-out
 			// never drops a finished-but-healthy subscriber while others
 			// are still retrieving — Evicted then counts real laggards.
-			go func() {
+			go func() { //pinlint:allow goroleak — bounded by Step returning the station's shutdown error when the broadcast ends
 				defer r.Close()
 				for {
 					if _, err := r.Step(); err != nil {

@@ -4,16 +4,25 @@
 //	go run ./cmd/pinlint ./...
 //
 // It mechanically enforces the invariants the benchmarks and reviews
-// established by convention: zero-allocation hot paths (hotpath),
+// established by convention: zero-allocation hot paths (hotpath,
+// cross-checked against the compiler's escape analysis by allocprove),
 // injected randomness (norand), mutex-guarded field access (lockcheck),
-// mutation only at data-cycle boundaries (cycleboundary), and typed
-// sentinel wrapping with %w / errors.Is (errwrap).
+// deadlock-free lock ordering (lockorder), stoppable goroutines
+// (goroleak), mutation only at data-cycle boundaries (cycleboundary),
+// and typed sentinel wrapping with %w / errors.Is (errwrap).
+//
+// Flags: -list prints the analyzer inventory; -json emits diagnostics
+// as one JSON object per line for tooling; -escapes prints the
+// module-wide heap-escape report (every compiler escape diagnostic in
+// packages containing hotpath annotations, hottest first) instead of
+// running the suite.
 //
 // Exit status: 0 when clean, 1 when any diagnostic is reported, 2 on
 // usage or load errors. CI runs pinlint as a required lint step.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -26,13 +35,25 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// jsonDiag is the machine-readable form of one diagnostic, one object
+// per output line (JSON Lines), stable for CI problem matchers.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func run(args []string, stdout, stderr io.Writer) int {
 	flags := flag.NewFlagSet("pinlint", flag.ContinueOnError)
 	flags.SetOutput(stderr)
 	list := flags.Bool("list", false, "list the analyzers and exit")
 	verbose := flags.Bool("v", false, "report the packages and analyzers as they run")
+	asJSON := flags.Bool("json", false, "emit diagnostics as JSON Lines")
+	escapes := flags.Bool("escapes", false, "print the module-wide heap-escape report and exit")
 	flags.Usage = func() {
-		fmt.Fprintf(stderr, "usage: pinlint [-list] [-v] [packages]\n")
+		fmt.Fprintf(stderr, "usage: pinlint [-list] [-v] [-json] [-escapes] [packages]\n")
 		flags.PrintDefaults()
 	}
 	if err := flags.Parse(args); err != nil {
@@ -58,6 +79,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "pinlint:", err)
 		return 2
 	}
+	if *escapes {
+		return escapeReport(pkgs, index, stdout, stderr)
+	}
+	enc := json.NewEncoder(stdout)
 	bad := false
 	for _, pkg := range pkgs {
 		for _, a := range analyzers.All() {
@@ -71,12 +96,60 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			for _, d := range diags {
 				bad = true
-				fmt.Fprintf(stdout, "%s: %s: %s\n", pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)
+				pos := pkg.Fset.Position(d.Pos)
+				if *asJSON {
+					enc.Encode(jsonDiag{
+						File:     pos.Filename,
+						Line:     pos.Line,
+						Col:      pos.Column,
+						Analyzer: d.Analyzer,
+						Message:  d.Message,
+					})
+					continue
+				}
+				fmt.Fprintf(stdout, "%s: %s: %s\n", pos, d.Analyzer, d.Message)
 			}
 		}
 	}
 	if bad {
 		return 1
 	}
+	return 0
+}
+
+// escapeReport prints every compiler escape site in packages that carry
+// hotpath annotations, ranked: sites inside hotpath functions first
+// (these are lint failures unless waived), then the rest of the
+// retrieval path ordered by position. It is the allocation hunt's map.
+func escapeReport(pkgs []*analyzers.Package, index *analyzers.Index, stdout, stderr io.Writer) int {
+	var hot, cold []analyzers.EscapeSite
+	for _, pkg := range pkgs {
+		if !index.HasHotPath(pkg) {
+			continue
+		}
+		sites, err := analyzers.EscapeSites(pkg, index)
+		if err != nil {
+			fmt.Fprintln(stderr, "pinlint:", err)
+			return 2
+		}
+		for _, s := range sites {
+			if s.Hot {
+				hot = append(hot, s)
+			} else {
+				cold = append(cold, s)
+			}
+		}
+	}
+	print := func(label string, sites []analyzers.EscapeSite) {
+		for _, s := range sites {
+			fn := s.Func
+			if fn == "" {
+				fn = "(file scope)"
+			}
+			fmt.Fprintf(stdout, "%s %s:%d:%d: %s: %s\n", label, s.File, s.Line, s.Col, fn, s.Msg)
+		}
+	}
+	print("HOT ", hot)
+	print("cold", cold)
 	return 0
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -38,9 +39,55 @@ func TestListFlag(t *testing.T) {
 	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("-list exit code = %d", code)
 	}
-	for _, name := range []string{"hotpath", "norand", "lockcheck", "cycleboundary", "errwrap"} {
+	for _, name := range []string{"hotpath", "allocprove", "norand", "lockcheck", "lockorder", "goroleak", "cycleboundary", "errwrap"} {
 		if !strings.Contains(stdout.String(), name) {
 			t.Errorf("-list output missing %s:\n%s", name, stdout.String())
 		}
+	}
+}
+
+// TestJSONOutput pins the -json line format tooling depends on: one
+// object per diagnostic with file/line/col/analyzer/message.
+func TestJSONOutput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-json", "pinbcast/internal/analyzers/testdata/src/norandbad"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	lines := strings.Split(strings.TrimSpace(stdout.String()), "\n")
+	if len(lines) == 0 {
+		t.Fatal("no JSON diagnostics emitted")
+	}
+	for _, line := range lines {
+		var d struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		if err := json.Unmarshal([]byte(line), &d); err != nil {
+			t.Fatalf("bad JSON line %q: %v", line, err)
+		}
+		if d.File == "" || d.Line == 0 || d.Analyzer == "" || d.Message == "" {
+			t.Errorf("incomplete diagnostic: %q", line)
+		}
+	}
+}
+
+// TestEscapeReport smokes -escapes: the bad fixture has escapes both
+// inside and outside hotpath functions, so both ranks must appear.
+func TestEscapeReport(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-escapes", "pinbcast/internal/analyzers/testdata/src/allocprovebad"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "HOT ") || !strings.Contains(out, "cold") {
+		t.Errorf("escape report missing a rank:\n%s", out)
+	}
+	if hot := strings.Index(out, "HOT "); hot > strings.Index(out, "cold") {
+		t.Errorf("hot sites must rank above cold ones:\n%s", out)
 	}
 }

@@ -217,9 +217,17 @@
 // Comments of the form //pinlint:... are machine-readable annotations
 // consumed by the static analyzer suite in internal/analyzers (run
 // with `go run ./cmd/pinlint ./...`, a required CI step):
-// //pinlint:hotpath marks a function that must not allocate per call,
-// //pinlint:cycle-boundary marks a program mutator reachable only from
-// admission seams, //pinlint:holds asserts a caller-held mutex, and
-// `guarded by <mu>` field comments bind fields to their mutex. See the
-// README's "Static analysis" section for the full contract.
+// //pinlint:hotpath marks a function that must not allocate per call
+// (enforced syntactically by hotpath and against the real compiler's
+// escape analysis by allocprove), //pinlint:cycle-boundary marks a
+// program mutator reachable only from admission seams, //pinlint:holds
+// asserts a caller-held mutex (consumed by lockcheck for guarded-field
+// proofs and by lockorder to build the module-wide lock-acquisition
+// graph, which must stay acyclic), and `guarded by <mu>` field comments
+// bind fields to their mutex. goroleak requires every spawned goroutine
+// to show a termination path — a context, stop channel, or WaitGroup —
+// in its control flow. A cold diagnostic inside a hot function is
+// waived in place with //pinlint:allow <analyzer> — justification; the
+// justification text is mandatory. See the README's "Static analysis"
+// section for the full contract and the lock hierarchy diagram.
 package pinbcast

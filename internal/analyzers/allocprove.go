@@ -1,0 +1,256 @@
+package analyzers
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// AllocProve cross-checks every //pinlint:hotpath annotation against
+// the real compiler's escape analysis. Where the syntactic hotpath
+// analyzer rejects allocation-prone *constructs*, allocprove asks the
+// gc compiler itself — `go tool compile -m=2` over the package, with
+// dependencies resolved from the same export data the loader
+// type-checked against — and reports every "escapes to heap" /
+// "moved to heap" diagnostic that falls inside an annotated function.
+// The hand-maintained zero-alloc claim becomes compiler ground truth:
+// an escape the benchmarks would eventually catch as allocs/op > 0
+// fails lint first.
+//
+// A genuine cold-path escape inside a hot function (error
+// construction, an amortized refill) is waived line by line with
+//
+//	//pinlint:allow allocprove — <why this site is off the per-call path>
+//
+// The justification text is mandatory policy: a waiver explains which
+// calls pay the allocation, so the next perf pass can rank it. One
+// class of site is exempt by rule instead: a string constant escaping
+// into an interface (a panic argument) is backed by static data and
+// never allocates at run time.
+//
+// Escape sites outside hotpath functions are not diagnostics, but they
+// are collected: `pinlint -escapes` prints the module-wide ranked
+// report that guides allocation hunts (see EscapeSites).
+var AllocProve = &Analyzer{
+	Name: "allocprove",
+	Doc:  "prove //pinlint:hotpath functions heap-free with the compiler's escape analysis",
+	Run:  runAllocProve,
+}
+
+// An EscapeSite is one compiler escape diagnostic.
+type EscapeSite struct {
+	File string
+	Line int
+	Col  int
+	// Msg is the compiler's diagnostic ("&Client{...} escapes to
+	// heap", "moved to heap: x").
+	Msg string
+	// Func is the enclosing function's name ("" at file scope).
+	Func string
+	// Hot marks sites inside //pinlint:hotpath functions.
+	Hot bool
+}
+
+func runAllocProve(pass *Pass) error {
+	// Only packages that annotate hot paths pay the compile.
+	if !pass.Index.HasHotPath(pass.pkg) {
+		return nil
+	}
+	sites, err := EscapeSites(pass.pkg, pass.Index)
+	if err != nil {
+		return fmt.Errorf("allocprove: %w", err)
+	}
+	for _, s := range sites {
+		if !s.Hot {
+			continue
+		}
+		pos := filePos(pass.pkg, s.File, s.Line, s.Col)
+		if !pos.IsValid() {
+			pos = pass.Files[0].Pos()
+		}
+		pass.Reportf(pos, "compiler escape in hotpath function %s: %s", s.Func, s.Msg)
+	}
+	return nil
+}
+
+// funcRange locates one function body in the sources.
+type funcRange struct {
+	file     string
+	from, to int // line range, inclusive
+	name     string
+}
+
+type typedFuncRange struct {
+	funcRange
+	fn *types.Func
+}
+
+// funcRanges maps every declared function to its body's line range.
+func funcRanges(pkg *Package) []typedFuncRange {
+	var out []typedFuncRange
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pkg.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			from := pkg.Fset.Position(fd.Pos())
+			to := pkg.Fset.Position(fd.Body.End())
+			out = append(out, typedFuncRange{
+				funcRange: funcRange{file: from.Filename, from: from.Line, to: to.Line, name: fn.Name()},
+				fn:        fn,
+			})
+		}
+	}
+	return out
+}
+
+// escapeLineRE matches one compiler diagnostic line.
+var escapeLineRE = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (\S.*?):?$`)
+
+// EscapeSites compiles the package with `go tool compile -m=2` and
+// returns its heap-escape diagnostics, annotated with the enclosing
+// function and whether that function is //pinlint:hotpath. The
+// dependency import map comes from the loader's export data, so the
+// compile needs no build cache warm-up and cannot be skipped by one.
+func EscapeSites(pkg *Package, index *Index) ([]EscapeSite, error) {
+	diags, err := compileEscapeDiags(pkg)
+	if err != nil {
+		return nil, err
+	}
+	ranges := funcRanges(pkg)
+	var out []EscapeSite
+	for _, d := range diags {
+		site := d
+		for _, fr := range ranges {
+			if fr.file == d.File && fr.from <= d.Line && d.Line <= fr.to {
+				site.Func = fr.name
+				site.Hot = index.Has(fr.fn, "hotpath")
+				break
+			}
+		}
+		out = append(out, site)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		if out[i].Line != out[j].Line {
+			return out[i].Line < out[j].Line
+		}
+		return out[i].Col < out[j].Col
+	})
+	return out, nil
+}
+
+// compileEscapeDiags invokes the gc compiler on the package's files
+// and parses the -m=2 escape diagnostics.
+func compileEscapeDiags(pkg *Package) ([]EscapeSite, error) {
+	files := pkg.GoFiles()
+	if len(files) == 0 {
+		return nil, nil
+	}
+	tmp, err := os.MkdirTemp("", "pinlint-allocprove-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(tmp)
+
+	var cfg bytes.Buffer
+	var paths []string
+	for path := range pkg.Exports {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		fmt.Fprintf(&cfg, "packagefile %s=%s\n", path, pkg.Exports[path])
+	}
+	cfgFile := filepath.Join(tmp, "importcfg")
+	if err := os.WriteFile(cfgFile, cfg.Bytes(), 0o666); err != nil {
+		return nil, err
+	}
+
+	args := append([]string{
+		"tool", "compile",
+		"-p", pkg.PkgPath,
+		"-importcfg", cfgFile,
+		"-o", filepath.Join(tmp, "out.o"),
+		"-m=2",
+	}, files...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = pkg.Dir
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("go tool compile -m=2 %s: %w\n%s", pkg.PkgPath, err, out)
+	}
+
+	var sites []EscapeSite
+	seen := map[EscapeSite]bool{}
+	for _, line := range strings.Split(string(out), "\n") {
+		m := escapeLineRE.FindStringSubmatch(line)
+		if m == nil {
+			continue // explanation ("flow:") and inliner lines
+		}
+		msg := strings.TrimSuffix(m[4], ":")
+		if !strings.Contains(msg, "escapes to heap") && !strings.HasPrefix(msg, "moved to heap") {
+			continue
+		}
+		// A string *constant* "escaping" into an interface (a panic
+		// argument, almost always) is backed by static read-only data
+		// and costs nothing at run time; the diagnostic is formally
+		// true but operationally empty, so it is exempt by rule rather
+		// than by waiver.
+		if strings.HasPrefix(msg, `"`) && strings.HasSuffix(msg, `" escapes to heap`) {
+			continue
+		}
+		lineNo, _ := strconv.Atoi(m[2])
+		colNo, _ := strconv.Atoi(m[3])
+		file := m[1]
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(pkg.Dir, file)
+		}
+		// -m=2 prints each site twice (with and without the flow
+		// explanation suffix); keep one.
+		s := EscapeSite{File: file, Line: lineNo, Col: colNo, Msg: msg}
+		if !seen[s] {
+			seen[s] = true
+			sites = append(sites, s)
+		}
+	}
+	return sites, nil
+}
+
+// filePos converts a compiler (file, line, col) triple back into a
+// token.Pos of one of the package's parsed files. The shared FileSet
+// also holds same-named entries registered by the export-data importer
+// with fake line info, so resolution must go through the package's own
+// syntax, not a FileSet scan.
+func filePos(pkg *Package, file string, line, col int) token.Pos {
+	for _, af := range pkg.Files {
+		f := pkg.Fset.File(af.Pos())
+		if f == nil || f.Name() != file {
+			continue
+		}
+		if line <= f.LineCount() {
+			p := f.LineStart(line) + token.Pos(col-1)
+			if f.Pos(0) <= p && p <= f.Pos(f.Size()) {
+				return p
+			}
+		}
+		break
+	}
+	return token.NoPos
+}

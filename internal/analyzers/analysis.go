@@ -1,8 +1,11 @@
 // Package analyzers implements pinlint: a suite of static analyzers
 // that mechanically enforce the codebase's performance and correctness
-// invariants — zero-allocation hot paths, injected randomness,
-// mutex-guarded field access, cycle-boundary-only mutation, and
-// sentinel-error wrapping discipline.
+// invariants — zero-allocation hot paths (syntactically and against
+// the compiler's own escape analysis), injected randomness,
+// mutex-guarded field access, deadlock-free lock ordering, stoppable
+// goroutines, cycle-boundary-only mutation, and sentinel-error
+// wrapping discipline. The flow-sensitive analyzers share the
+// intra-procedural CFG/dataflow layer in cfg.go.
 //
 // The package mirrors the golang.org/x/tools/go/analysis API surface
 // (Analyzer, Pass, Diagnostic) on the standard library alone, so the
@@ -72,6 +75,11 @@ type Pass struct {
 	// callee a hotpath function?) work without facts machinery.
 	Index *Index
 
+	// pkg is the loaded package under analysis, for analyzers that
+	// need more than syntax and types (allocprove shells out to the
+	// compiler with the package's file list and export data).
+	pkg *Package
+
 	diags []Diagnostic
 }
 
@@ -102,6 +110,7 @@ func Run(a *Analyzer, pkg *Package, index *Index) ([]Diagnostic, error) {
 		Pkg:       pkg.Types,
 		TypesInfo: pkg.TypesInfo,
 		Index:     index,
+		pkg:       pkg,
 	}
 	if err := a.Run(pass); err != nil {
 		return nil, fmt.Errorf("%s: %w", a.Name, err)
@@ -119,7 +128,7 @@ func Run(a *Analyzer, pkg *Package, index *Index) ([]Diagnostic, error) {
 
 // All returns the full pinlint analyzer suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{HotPath, NoRand, LockCheck, CycleBoundary, ErrWrap}
+	return []*Analyzer{HotPath, AllocProve, NoRand, LockCheck, LockOrder, GoroLeak, CycleBoundary, ErrWrap}
 }
 
 // errorType is the predeclared error interface, for implements checks.

@@ -27,6 +27,21 @@ func TestLockCheck(t *testing.T) {
 	checktest.Run(t, analyzers.LockCheck, "testdata/src/lockcheckgood")
 }
 
+func TestAllocProve(t *testing.T) {
+	checktest.Run(t, analyzers.AllocProve, "testdata/src/allocprovebad")
+	checktest.Run(t, analyzers.AllocProve, "testdata/src/allocprovegood")
+}
+
+func TestLockOrder(t *testing.T) {
+	checktest.Run(t, analyzers.LockOrder, "testdata/src/lockorderbad")
+	checktest.Run(t, analyzers.LockOrder, "testdata/src/lockordergood")
+}
+
+func TestGoroLeak(t *testing.T) {
+	checktest.Run(t, analyzers.GoroLeak, "testdata/src/goroleakbad")
+	checktest.Run(t, analyzers.GoroLeak, "testdata/src/goroleakgood")
+}
+
 func TestCycleBoundary(t *testing.T) {
 	checktest.Run(t, analyzers.CycleBoundary, "testdata/src/cycleboundarybad")
 	checktest.Run(t, analyzers.CycleBoundary, "testdata/src/cycleboundarygood")
@@ -35,6 +50,31 @@ func TestCycleBoundary(t *testing.T) {
 func TestErrWrap(t *testing.T) {
 	checktest.Run(t, analyzers.ErrWrap, "testdata/src/errwrapbad")
 	checktest.Run(t, analyzers.ErrWrap, "testdata/src/errwrapgood")
+}
+
+// TestModuleClean is the suite's self-check: every analyzer over every
+// package of the module must report nothing. This is the same gate CI's
+// lint job enforces through cmd/pinlint, kept here so `go test` alone
+// proves the tree honors its own annotations.
+func TestModuleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	pkgs, index, err := analyzers.LoadAndIndex("../..", "pinbcast/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
+		for _, a := range analyzers.All() {
+			diags, err := analyzers.Run(a, pkg, index)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", a.Name, pkg.PkgPath, err)
+			}
+			for _, d := range diags {
+				t.Errorf("%s: %s: %s", pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)
+			}
+		}
+	}
 }
 
 // TestFuncKey pins the symbol-key format the annotation index relies

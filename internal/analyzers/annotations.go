@@ -21,6 +21,11 @@ type Index struct {
 	Module string
 	// funcs maps FuncKey -> annotation name -> argument text.
 	funcs map[string]map[string]string
+	// pkgs are the loaded packages the index was built from, for the
+	// module-wide analyses (lockorder's acquisition graph).
+	pkgs []*Package
+	// lockG caches lockorder's module-wide acquisition graph.
+	lockG *lockGraph
 }
 
 // NewIndex returns an empty index for the given module path.
@@ -29,8 +34,10 @@ func NewIndex(module string) *Index {
 }
 
 // AddPackage scans one loaded package's function declarations for
-// //pinlint: annotations and records them.
+// //pinlint: annotations and records them, and registers the package
+// for the module-wide analyses.
 func (ix *Index) AddPackage(pkg *Package) {
+	ix.pkgs = append(ix.pkgs, pkg)
 	for _, f := range pkg.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
@@ -65,6 +72,22 @@ func (ix *Index) Has(fn *types.Func, name string) bool {
 // Arg returns the annotation's argument text ("" when absent).
 func (ix *Index) Arg(fn *types.Func, name string) string {
 	return ix.funcs[FuncKey(fn)][name]
+}
+
+// HasHotPath reports whether any function declared in pkg carries the
+// //pinlint:hotpath annotation — the gate for paying a compiler run in
+// allocprove and for inclusion in the escape report.
+func (ix *Index) HasHotPath(pkg *Package) bool {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				if fn, ok := pkg.TypesInfo.Defs[fd.Name].(*types.Func); ok && ix.Has(fn, "hotpath") {
+					return true
+				}
+			}
+		}
+	}
+	return false
 }
 
 // InModule reports whether the function is declared inside the analyzed

@@ -26,6 +26,26 @@ type Package struct {
 	Files     []*ast.File
 	Types     *types.Package
 	TypesInfo *types.Info
+	// Exports maps import paths to compiler export data files for
+	// every package of the load (shared across packages). allocprove
+	// feeds it to `go tool compile -importcfg` so the real compiler's
+	// escape analysis runs against the same dependency snapshot the
+	// type checker saw, immune to build caching.
+	Exports map[string]string
+}
+
+// GoFiles returns the package's source file names as parsed.
+func (p *Package) GoFiles() []string {
+	var names []string
+	seen := map[string]bool{}
+	for _, f := range p.Files {
+		name := p.Fset.Position(f.Pos()).Filename
+		if !seen[name] {
+			seen[name] = true
+			names = append(names, name)
+		}
+	}
+	return names
 }
 
 // listedPackage is the subset of `go list -json` output the loader
@@ -107,6 +127,7 @@ func Load(dir string, patterns ...string) ([]*Package, string, error) {
 		if err != nil {
 			return nil, "", err
 		}
+		pkg.Exports = exports
 		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, module, nil

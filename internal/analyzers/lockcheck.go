@@ -13,10 +13,11 @@ import (
 //	gen *generation // guarded by mu
 //
 // may only be accessed while the named sibling mutex is held. The
-// analysis is intra-package and conservative: within each function it
-// tracks Lock/RLock and Unlock/RUnlock calls on every path (branches
-// merge by intersection, so a conditionally taken lock does not count),
-// and flags any guarded access outside a held region.
+// analysis runs the shared lockflow dataflow (lockflow.go) over the
+// function's CFG: a must-analysis that merges branches by
+// intersection, so a conditionally taken lock does not count, and
+// iterates loops to a fixed point, so a lock released inside a loop
+// body does not leak into the next iteration.
 //
 // Escape hatches, in keeping with the codebase's conventions:
 //
@@ -51,13 +52,19 @@ func runLockCheck(pass *Pass) error {
 			if !ok {
 				continue
 			}
-			w := &lockWalker{
+			w := &lockChecker{
 				pass:    pass,
 				guards:  guards,
 				trusted: trustedMutexes(pass, fn),
 				local:   locallyConstructed(pass, fd.Body),
 			}
-			w.stmts(fd.Body.List, map[string]bool{})
+			w.checkBody(fd.Body)
+			// Closures may run at any time; their bodies are analyzed
+			// lock-free (deferred closures are skipped — they run under
+			// unknown state).
+			for _, lit := range funcLits(fd.Body) {
+				w.checkBody(lit.Body)
+			}
 		}
 	}
 	return nil
@@ -161,227 +168,22 @@ func isFreshValue(pass *Pass, e ast.Expr) bool {
 	return false
 }
 
-// lockWalker carries one function's analysis context.
-type lockWalker struct {
+// lockChecker carries one function's analysis context.
+type lockChecker struct {
 	pass    *Pass
 	guards  map[types.Object]string
 	trusted map[string]bool
 	local   map[types.Object]bool
 }
 
-// stmts walks a statement list, threading the held-lock set through it,
-// and reports whether the list always terminates (return/branch/panic)
-// rather than falling through.
-func (w *lockWalker) stmts(list []ast.Stmt, held map[string]bool) bool {
-	for _, s := range list {
-		if w.stmt(s, held) {
-			return true
-		}
-	}
-	return false
-}
-
-func (w *lockWalker) stmt(s ast.Stmt, held map[string]bool) bool {
-	switch s := s.(type) {
-	case *ast.ExprStmt:
-		w.expr(s.X, held)
-		if call, ok := unparen(s.X).(*ast.CallExpr); ok {
-			if id, ok := unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
-				return true
-			}
-		}
-	case *ast.AssignStmt:
-		for _, e := range s.Rhs {
-			w.expr(e, held)
-		}
-		for _, e := range s.Lhs {
-			w.expr(e, held)
-		}
-	case *ast.IncDecStmt:
-		w.expr(s.X, held)
-	case *ast.SendStmt:
-		w.expr(s.Chan, held)
-		w.expr(s.Value, held)
-	case *ast.DeclStmt:
-		ast.Inspect(s, func(n ast.Node) bool {
-			if e, ok := n.(ast.Expr); ok {
-				w.expr(e, held)
-				return false
-			}
-			return true
-		})
-	case *ast.ReturnStmt:
-		for _, e := range s.Results {
-			w.expr(e, held)
-		}
-		return true
-	case *ast.BranchStmt:
-		return true
-	case *ast.DeferStmt:
-		// A deferred Unlock releases at function end; the region stays
-		// held for analysis. Deferred closure bodies run under unknown
-		// state and are skipped.
-	case *ast.GoStmt:
-		// The goroutine runs later, without the current locks.
-		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
-			w.stmts(lit.Body.List, map[string]bool{})
-		}
-	case *ast.BlockStmt:
-		return w.stmts(s.List, held)
-	case *ast.LabeledStmt:
-		return w.stmt(s.Stmt, held)
-	case *ast.IfStmt:
-		if s.Init != nil {
-			w.stmt(s.Init, held)
-		}
-		w.expr(s.Cond, held)
-		thenHeld := clone(held)
-		thenTerm := w.stmts(s.Body.List, thenHeld)
-		elseHeld := clone(held)
-		elseTerm := false
-		if s.Else != nil {
-			elseTerm = w.stmt(s.Else, elseHeld)
-		}
-		switch {
-		case thenTerm && elseTerm:
-			return true
-		case thenTerm:
-			replace(held, elseHeld)
-		case elseTerm:
-			replace(held, thenHeld)
-		default:
-			replace(held, intersect(thenHeld, elseHeld))
-		}
-	case *ast.ForStmt:
-		if s.Init != nil {
-			w.stmt(s.Init, held)
-		}
-		if s.Cond != nil {
-			w.expr(s.Cond, held)
-		}
-		bodyHeld := clone(held)
-		w.stmts(s.Body.List, bodyHeld)
-		if s.Post != nil {
-			w.stmt(s.Post, bodyHeld)
-		}
-		// After the loop: it may have run zero times, so only locks
-		// held both before and at body exit survive.
-		replace(held, intersect(held, bodyHeld))
-	case *ast.RangeStmt:
-		w.expr(s.X, held)
-		bodyHeld := clone(held)
-		w.stmts(s.Body.List, bodyHeld)
-		replace(held, intersect(held, bodyHeld))
-	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
-		w.branches(s, held)
-	}
-	return false
-}
-
-// branches handles switch/select: each clause starts from the entry
-// state; the fall-through state is the intersection of the entry state
-// and every non-terminating clause exit.
-func (w *lockWalker) branches(s ast.Stmt, held map[string]bool) {
-	var body *ast.BlockStmt
-	switch s := s.(type) {
-	case *ast.SwitchStmt:
-		if s.Init != nil {
-			w.stmt(s.Init, held)
-		}
-		if s.Tag != nil {
-			w.expr(s.Tag, held)
-		}
-		body = s.Body
-	case *ast.TypeSwitchStmt:
-		if s.Init != nil {
-			w.stmt(s.Init, held)
-		}
-		w.stmt(s.Assign, held)
-		body = s.Body
-	case *ast.SelectStmt:
-		body = s.Body
-	}
-	out := clone(held)
-	for _, clause := range body.List {
-		clauseHeld := clone(held)
-		var list []ast.Stmt
-		switch c := clause.(type) {
-		case *ast.CaseClause:
-			for _, e := range c.List {
-				w.expr(e, clauseHeld)
-			}
-			list = c.Body
-		case *ast.CommClause:
-			if c.Comm != nil {
-				w.stmt(c.Comm, clauseHeld)
-			}
-			list = c.Body
-		}
-		if !w.stmts(list, clauseHeld) {
-			replace(out, intersect(out, clauseHeld))
-		}
-	}
-	replace(held, out)
-}
-
-// expr scans one expression in evaluation order for lock transitions
-// and guarded accesses.
-func (w *lockWalker) expr(e ast.Expr, held map[string]bool) {
-	if e == nil {
-		return
-	}
-	ast.Inspect(e, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.FuncLit:
-			// A closure may run at any time; analyze it lock-free.
-			w.stmts(n.Body.List, map[string]bool{})
-			return false
-		case *ast.CallExpr:
-			if key, op, ok := w.lockOp(n); ok {
-				switch op {
-				case "Lock", "RLock":
-					held[key] = true
-				case "Unlock", "RUnlock":
-					delete(held, key)
-				}
-			}
-		case *ast.SelectorExpr:
-			w.checkAccess(n, held)
-		}
-		return true
-	})
-}
-
-// lockOp recognizes <base>.<mu>.Lock() and friends, returning the held
-// set key "base.mu".
-func (w *lockWalker) lockOp(call *ast.CallExpr) (key, op string, ok bool) {
-	sel, isSel := unparen(call.Fun).(*ast.SelectorExpr)
-	if !isSel {
-		return "", "", false
-	}
-	op = sel.Sel.Name
-	switch op {
-	case "Lock", "RLock", "Unlock", "RUnlock":
-	default:
-		return "", "", false
-	}
-	fn, isFn := w.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
-	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
-		return "", "", false
-	}
-	muSel, isSel := unparen(sel.X).(*ast.SelectorExpr)
-	if !isSel {
-		// mu.Lock() on a package-level or local mutex variable.
-		if id, isID := unparen(sel.X).(*ast.Ident); isID {
-			return id.Name, op, true
-		}
-		return "", "", false
-	}
-	return exprKey(muSel.X) + "." + muSel.Sel.Name, op, true
+// checkBody runs the lockflow dataflow over one body and reports
+// guarded accesses outside their mutex's held region.
+func (w *lockChecker) checkBody(body *ast.BlockStmt) {
+	lockFlow(w.pass.TypesInfo, body, lockState{}, lockHooks{access: w.checkAccess})
 }
 
 // checkAccess flags a guarded field access without its mutex held.
-func (w *lockWalker) checkAccess(sel *ast.SelectorExpr, held map[string]bool) {
+func (w *lockChecker) checkAccess(sel *ast.SelectorExpr, held lockState) {
 	obj := w.pass.TypesInfo.Uses[sel.Sel]
 	mu, guarded := w.guards[obj]
 	if !guarded {
@@ -396,7 +198,7 @@ func (w *lockWalker) checkAccess(sel *ast.SelectorExpr, held map[string]bool) {
 			return // freshly constructed, not yet shared
 		}
 	}
-	if held[exprKey(base)+"."+mu] {
+	if _, ok := held[exprKey(base)+"."+mu]; ok {
 		return
 	}
 	w.pass.Reportf(sel.Sel.Pos(), "access to %s (guarded by %s) without %s held", sel.Sel.Name, mu, mu)
@@ -422,32 +224,5 @@ func exprKey(e ast.Expr) string {
 		return "call()"
 	default:
 		return "?"
-	}
-}
-
-func clone(m map[string]bool) map[string]bool {
-	out := make(map[string]bool, len(m))
-	for k, v := range m {
-		out[k] = v
-	}
-	return out
-}
-
-func intersect(a, b map[string]bool) map[string]bool {
-	out := map[string]bool{}
-	for k := range a {
-		if b[k] {
-			out[k] = true
-		}
-	}
-	return out
-}
-
-func replace(dst, src map[string]bool) {
-	for k := range dst {
-		delete(dst, k)
-	}
-	for k := range src {
-		dst[k] = true
 	}
 }

@@ -1,0 +1,284 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// lockflow is the shared held-mutex dataflow that lockcheck and
+// lockorder run over the CFG: a forward must-analysis whose state is
+// the set of locks provably held, merged by intersection at joins.
+//
+// Locks are tracked under two names:
+//
+//   - the instance key ("st.mu", "c.stations[].mu"), an exprKey-based
+//     rendering of the selector chain, which lockcheck compares against
+//     guarded accesses on the same chain; and
+//   - the class key ("pkg.(Station).mu" for a field,
+//     "pkg.registryMu" for a package-level mutex, "" for a local),
+//     which lockorder uses to build the module-wide acquisition graph —
+//     every instance of Station.mu is one class, since any two
+//     instances could be the two sides of a deadlock.
+
+// lockState maps held-lock instance keys to their class keys.
+type lockState map[string]string
+
+func (s lockState) clone() lockState {
+	out := make(lockState, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// lockMeet intersects two states: a lock is held after a join only if
+// it is held on every path.
+func lockMeet(a, b lockState) lockState {
+	out := lockState{}
+	for k, v := range a {
+		if _, ok := b[k]; ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func lockEq(a, b lockState) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if _, ok := b[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// lockHooks are the callbacks a reporting pass threads through the
+// transfer function; the fixpoint pass runs with zero hooks.
+type lockHooks struct {
+	// access fires at every selector expression, with the current
+	// held set (lockcheck's guarded-field check).
+	access func(sel *ast.SelectorExpr, held lockState)
+	// acquire fires at every Lock/RLock call, before the lock is added
+	// to the state (lockorder's edge collection).
+	acquire func(pos token.Pos, class string, held lockState)
+}
+
+// applyLockNode folds one CFG node over held, firing hooks. Deferred
+// statements are skipped entirely — a deferred Unlock releases at
+// function end, so the region stays held, and a deferred closure runs
+// under unknown state. Function literals are skipped too: analyses
+// visit their bodies separately, lock-free (see funcLits).
+func applyLockNode(info *types.Info, n ast.Node, held lockState, h lockHooks) {
+	if _, ok := n.(*ast.DeferStmt); ok {
+		return
+	}
+	if g, ok := n.(*ast.GoStmt); ok {
+		// The spawned body runs later without the current locks; only
+		// the call's function and argument expressions evaluate now.
+		n = g.Call
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.DeferStmt:
+			return false
+		case *ast.CallExpr:
+			if op := lockOpOf(info, n); op != nil {
+				switch op.op {
+				case "Lock", "RLock":
+					if h.acquire != nil {
+						h.acquire(n.Pos(), op.class, held)
+					}
+					held[op.key] = op.class
+				case "Unlock", "RUnlock":
+					delete(held, op.key)
+				}
+			}
+		case *ast.SelectorExpr:
+			if h.access != nil {
+				h.access(n, held)
+			}
+		}
+		return true
+	})
+}
+
+// lockFlow runs the held-lock analysis over one function body: a
+// fixpoint pass to compute every block's entry state, then a reporting
+// pass that replays the transfer function with the hooks attached.
+func lockFlow(info *types.Info, body *ast.BlockStmt, entry lockState, h lockHooks) {
+	g := NewCFG(body)
+	transfer := func(b *Block, s lockState) lockState {
+		out := s.clone()
+		for _, n := range b.Nodes {
+			applyLockNode(info, n, out, lockHooks{})
+		}
+		return out
+	}
+	in := Iterate(g, entry, transfer, lockMeet, lockEq)
+	for _, b := range g.Blocks {
+		s, ok := in[b]
+		if !ok {
+			continue // unreachable
+		}
+		held := s.clone()
+		for _, n := range b.Nodes {
+			applyLockNode(info, n, held, h)
+		}
+	}
+}
+
+// lockOpRec describes one recognized mutex operation call site.
+type lockOpRec struct {
+	key   string // instance key ("st.mu")
+	class string // class key ("pkg.(Station).mu"), "" when unresolvable
+	op    string // Lock, RLock, Unlock, RUnlock
+}
+
+// lockOpOf recognizes <base>.<mu>.Lock() and friends.
+func lockOpOf(info *types.Info, call *ast.CallExpr) *lockOpRec {
+	sel, isSel := unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return nil
+	}
+	op := sel.Sel.Name
+	switch op {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return nil
+	}
+	fn, isFn := info.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil
+	}
+	switch base := unparen(sel.X).(type) {
+	case *ast.SelectorExpr: // x.mu.Lock()
+		return &lockOpRec{
+			key:   exprKey(base.X) + "." + base.Sel.Name,
+			class: lockClassOfSelector(info, base),
+			op:    op,
+		}
+	case *ast.Ident: // mu.Lock() on a package-level or local mutex
+		return &lockOpRec{
+			key:   base.Name,
+			class: lockClassOfObject(info.Uses[base]),
+			op:    op,
+		}
+	}
+	return nil
+}
+
+// lockClassOfSelector names the module-wide class of the mutex
+// selected by sel: "pkg.(T).mu" for a field of named type T,
+// "pkg.mu" for a package-level variable accessed pkg-qualified.
+func lockClassOfSelector(info *types.Info, sel *ast.SelectorExpr) string {
+	if s, ok := info.Selections[sel]; ok {
+		if named, ok := derefType(s.Recv()).(*types.Named); ok && named.Obj().Pkg() != nil {
+			return lockClassOfField(named.Obj(), sel.Sel.Name)
+		}
+		return ""
+	}
+	return lockClassOfObject(info.Uses[sel.Sel])
+}
+
+// lockClassOfField renders the class key of field mu on named type T.
+func lockClassOfField(t *types.TypeName, mu string) string {
+	return t.Pkg().Path() + ".(" + t.Name() + ")." + mu
+}
+
+// lockClassOfObject names a package-level mutex variable, or "" for
+// locals (a function-scoped mutex cannot participate in a cross-
+// function ordering).
+func lockClassOfObject(obj types.Object) string {
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return ""
+	}
+	return v.Pkg().Path() + "." + v.Name()
+}
+
+func derefType(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// isMutexType reports whether t (or *t) is sync.Mutex or sync.RWMutex.
+func isMutexType(t types.Type) bool {
+	named, ok := derefType(t).(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "sync" &&
+		(named.Obj().Name() == "Mutex" || named.Obj().Name() == "RWMutex")
+}
+
+// callerHeldLocks builds the entry lock state a function's annotations
+// assert: //pinlint:holds mu maps mu to the receiver's (or package's)
+// mutex of that name, and the xxxLocked suffix convention maps to every
+// mutex-typed field of the receiver. Instance keys use the receiver
+// ident so guarded-access chains line up ("mt.mu" for func (mt *T)).
+func callerHeldLocks(pkg *Package, index *Index, fd *ast.FuncDecl, fn *types.Func) lockState {
+	entry := lockState{}
+	recvName := ""
+	var recvType *types.TypeName
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		if len(fd.Recv.List[0].Names) == 1 {
+			recvName = fd.Recv.List[0].Names[0].Name
+		}
+		if recv := fn.Signature().Recv(); recv != nil {
+			if named, ok := derefType(recv.Type()).(*types.Named); ok {
+				recvType = named.Obj()
+			}
+		}
+	}
+	addField := func(name string) {
+		if recvType == nil {
+			return
+		}
+		key := name
+		if recvName != "" {
+			key = recvName + "." + name
+		}
+		entry[key] = lockClassOfField(recvType, name)
+	}
+	if names := index.Arg(fn, "holds"); names != "" {
+		for _, mu := range strings.Fields(names) {
+			if recvType != nil && structHasMutexField(recvType, mu) {
+				addField(mu)
+			} else if obj := pkg.Types.Scope().Lookup(mu); obj != nil && isMutexType(obj.Type()) {
+				entry[mu] = lockClassOfObject(obj)
+			}
+		}
+	}
+	if strings.HasSuffix(fn.Name(), "Locked") && recvType != nil {
+		if st, ok := recvType.Type().Underlying().(*types.Struct); ok {
+			for i := 0; i < st.NumFields(); i++ {
+				if f := st.Field(i); isMutexType(f.Type()) {
+					addField(f.Name())
+				}
+			}
+		}
+	}
+	return entry
+}
+
+// structHasMutexField reports whether named type t has a mutex-typed
+// field of the given name.
+func structHasMutexField(t *types.TypeName, name string) bool {
+	st, ok := t.Type().Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if f := st.Field(i); f.Name() == name && isMutexType(f.Type()) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,34 @@
+// Package allocprovebad exercises the allocprove diagnostics: the
+// compiler's escape analysis contradicting //pinlint:hotpath claims.
+package allocprovebad
+
+var sink any
+
+// Leak returns the address of a local, the canonical escape.
+//
+//pinlint:hotpath
+func Leak() *int {
+	v := 42 // want "compiler escape in hotpath function Leak" 2
+	return &v
+}
+
+// Grow allocates a fresh slice per call.
+//
+//pinlint:hotpath
+func Grow(n int) []byte {
+	return make([]byte, n) // want "compiler escape in hotpath function Grow: make"
+}
+
+// BoxInt boxes its argument into an interface.
+//
+//pinlint:hotpath
+func BoxInt(n int) {
+	sink = n // want "compiler escape in hotpath function BoxInt: n escapes to heap"
+}
+
+// coldAlloc is not annotated: the same escapes are report-only there
+// (surfaced by `pinlint -escapes`, not diagnostics).
+func coldAlloc() *int {
+	v := 7
+	return &v
+}

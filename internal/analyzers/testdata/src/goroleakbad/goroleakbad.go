@@ -1,0 +1,41 @@
+// Package goroleakbad exercises the goroleak diagnostics: goroutines
+// whose CFG shows no termination path tied to a context, stop channel,
+// or WaitGroup.
+package goroleakbad
+
+import "fmt"
+
+func work() {}
+
+// spin loops forever over plain work: nothing external can stop it.
+func spin() {
+	for {
+		work()
+	}
+}
+
+type pump struct{ n int }
+
+// run loops forever too, as a method.
+func (p *pump) run() {
+	for {
+		p.n++
+	}
+}
+
+func Spawn() {
+	go func() { // want "goroutine has no termination path"
+		for {
+			work()
+		}
+	}()
+
+	go spin() // want "goroutine has no termination path"
+
+	p := &pump{}
+	go p.run() // want "goroutine has no termination path"
+
+	// An external callee with no lifetime-tying argument is opaque: the
+	// analyzer cannot see a termination path and says so.
+	go fmt.Println("fire and forget") // want "goroutine has no termination path"
+}

@@ -1,0 +1,90 @@
+// Package goroleakgood holds goroutines goroleak accepts: every spawn
+// ties its lifetime to a context, a channel, a WaitGroup, a dynamic
+// call that can fail it out of the loop, or simply terminates.
+package goroleakgood
+
+import (
+	"context"
+	"net"
+	"sync"
+)
+
+func use(int) {}
+
+func setup()  {}
+func finish() {}
+
+// worker's context parameter ties its lifetime to the caller.
+func worker(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+	}
+}
+
+// drain ranges over a channel: it ends when the channel closes.
+func drain(in chan int) {
+	for v := range in {
+		use(v)
+	}
+}
+
+func Spawn(ctx context.Context, ln net.Listener) {
+	in := make(chan int)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+
+	go worker(ctx) // context parameter
+	go drain(in)   // channel parameter
+
+	// Select on a stop channel: a reachable gate from which the exit is
+	// reachable.
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case v := <-in:
+				use(v)
+			}
+		}
+	}()
+
+	// WaitGroup registration: the owner's Wait joins it.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 1000; i++ {
+			use(i)
+		}
+	}()
+
+	// Range over a channel in a literal body.
+	go func() {
+		for v := range in {
+			use(v)
+		}
+	}()
+
+	// Acyclic body: runs to completion, nothing to stop.
+	go func() {
+		setup()
+		finish()
+	}()
+
+	// Accept loop: the dynamic interface call is trusted to fail after
+	// Close, and the error return reaches the exit.
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			_ = c
+		}
+	}()
+	wg.Wait()
+}

@@ -1,0 +1,60 @@
+// Package lockorderbad exercises the lockorder diagnostics: cycles in
+// the lock-acquisition graph, including one that only exists because a
+// Locked-suffix helper's caller-held set is propagated.
+package lockorderbad
+
+import "sync"
+
+type A struct {
+	mu sync.Mutex
+}
+
+type B struct {
+	mu sync.Mutex
+}
+
+type C struct {
+	mu sync.Mutex
+}
+
+// abThenBa establishes A → B; baThenAb establishes B → A. Together:
+// the classic AB/BA deadlock. The cycle is anchored (and therefore
+// reported) at its lexically first edge, the acquisition below.
+func abThenBa(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock() // want "lock-order cycle: .*\\(A\\).mu -> .*\\(B\\).mu -> .*\\(A\\).mu"
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func baThenAb(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// pair acquires a second instance of the class it already holds: a
+// self-cycle, the two-instance deadlock.
+func (a *A) pair(other *A) {
+	a.mu.Lock()
+	other.mu.Lock() // want "lock-order cycle: .*\\(A\\).mu -> .*\\(A\\).mu"
+	other.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// takeCLocked asserts (by its name) that b.mu is held on entry, so the
+// acquisition inside it contributes the edge B → C even though no Lock
+// call is syntactically in scope.
+func (b *B) takeCLocked(c *C) {
+	c.mu.Lock() // want "lock-order cycle: .*\\(B\\).mu -> .*\\(C\\).mu -> .*\\(B\\).mu"
+	c.mu.Unlock()
+}
+
+// cThenB closes the loop: C → B.
+func cThenB(b *B, c *C) {
+	c.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	c.mu.Unlock()
+}

@@ -1,0 +1,42 @@
+// Package lockordergood holds a two-level lock hierarchy used
+// consistently: parent before child on every path, so the acquisition
+// graph is a DAG and lockorder stays silent.
+package lockordergood
+
+import "sync"
+
+type Parent struct {
+	mu   sync.Mutex
+	kids []*Child
+}
+
+type Child struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Visit acquires parent-then-child, the declared order.
+func (p *Parent) Visit() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, k := range p.kids {
+		k.mu.Lock()
+		k.n++
+		k.mu.Unlock()
+	}
+}
+
+// touchLocked asserts p.mu is held and takes child locks under it —
+// the same edge Visit establishes, just through the convention.
+func (p *Parent) touchLocked(k *Child) {
+	k.mu.Lock()
+	k.n++
+	k.mu.Unlock()
+}
+
+// Leaf takes only the child lock; no ordering edge at all.
+func (k *Child) Leaf() {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.n++
+}

@@ -72,6 +72,17 @@ type Client struct {
 	// classifying a block costs no allocation; only blocks worth keeping
 	// are cloned out of it.
 	scratch ida.Block
+
+	// freeBlocks recycles stored blocks whose file has been finished or
+	// cancelled: Observe copies into a recycled block (payload buffer
+	// included) before paying for a fresh Clone. blockScratch is
+	// finish's reconstruction assembly slice, reused across files.
+	// freePending recycles cancelled request entries the same way —
+	// re-requesting under a multi-channel tuner is the steady state, not
+	// the exception.
+	freeBlocks   []*ida.Block
+	blockScratch []*ida.Block
+	freePending  []*pendingFile
 }
 
 type pendingFile struct {
@@ -134,6 +145,25 @@ func (c *Client) Add(r Request) error {
 	if c.start >= 0 && c.now >= c.start {
 		from = c.now + 1 // already listening: the clock starts next slot
 	}
+	if p := c.pending[r.File]; p != nil && p.done {
+		// Re-request of a completed file: the entry (and its block map)
+		// is reused in place.
+		p.req = r
+		p.from = from
+		p.corrupted = 0
+		p.done = false
+		return nil
+	}
+	if n := len(c.freePending) - 1; n >= 0 {
+		p := c.freePending[n]
+		c.freePending = c.freePending[:n]
+		p.req = r
+		p.from = from
+		p.corrupted = 0
+		p.done = false
+		c.pending[r.File] = p
+		return nil
+	}
 	c.pending[r.File] = &pendingFile{req: r, from: from, blocks: make(map[uint16]*ida.Block)}
 	return nil
 }
@@ -149,6 +179,11 @@ func (c *Client) Cancel(name string) bool {
 		return false
 	}
 	delete(c.pending, name)
+	for _, b := range p.blocks {
+		c.freeBlocks = append(c.freeBlocks, b)
+	}
+	clear(p.blocks)
+	c.freePending = append(c.freePending, p)
 	return true
 }
 
@@ -279,7 +314,17 @@ func (c *Client) Observe(t int, raw []byte) Outcome {
 	if _, dup := p.blocks[c.scratch.Seq]; dup {
 		return Ignored
 	}
-	blk := c.scratch.Clone() //pinlint:allow hotpath — a block worth keeping is cloned out of scratch by design
+	var blk *ida.Block
+	if n := len(c.freeBlocks) - 1; n >= 0 {
+		// Copy into a recycled block, reusing its payload buffer.
+		blk = c.freeBlocks[n]
+		c.freeBlocks = c.freeBlocks[:n]
+		payload := blk.Payload
+		*blk = c.scratch
+		blk.Payload = append(payload[:0], c.scratch.Payload...)
+	} else {
+		blk = c.scratch.Clone() //pinlint:allow hotpath allocprove — a block worth keeping is cloned out of scratch by design; one allocation per stored block until the recycle pool warms up
+	}
 	p.blocks[blk.Seq] = blk
 	if len(p.blocks) >= int(blk.M) {
 		c.finish(name, p) //pinlint:allow hotpath — reconstruction, runs once per completed request
@@ -290,7 +335,7 @@ func (c *Client) Observe(t int, raw []byte) Outcome {
 
 // finish reconstructs the file and records the result.
 func (c *Client) finish(name string, p *pendingFile) {
-	blocks := make([]*ida.Block, 0, len(p.blocks))
+	blocks := c.blockScratch[:0]
 	for _, b := range p.blocks {
 		blocks = append(blocks, b)
 	}
@@ -310,6 +355,16 @@ func (c *Client) finish(name string, p *pendingFile) {
 	}
 	p.done = true
 	c.results = append(c.results, res)
+	// The stored blocks are dead now that the file is rebuilt
+	// (ReconstructFile copies shard payloads out): recycle them and keep
+	// the assembly slice, with its references dropped, for the next
+	// reconstruction.
+	c.freeBlocks = append(c.freeBlocks, blocks...)
+	clear(p.blocks)
+	for i := range blocks {
+		blocks[i] = nil
+	}
+	c.blockScratch = blocks[:0]
 }
 
 // NoteCorruption is called by the simulator when it knows slot t's

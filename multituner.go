@@ -255,8 +255,19 @@ func (mt *MultiTuner) RequestVia(file string, deadline int, order []int) error {
 				file, ch, len(mt.chans), ErrBadSpec)
 		}
 	}
-	req := &mtRequest{file: file, deadline: deadline, order: order, tried: map[int]bool{}}
-	mt.reqs[file] = req
+	req := mt.reqs[file]
+	if req != nil {
+		// Re-request of a completed file: reuse the entry and its
+		// tried set instead of reallocating per retrieval.
+		clear(req.tried)
+		req.deadline = deadline
+		req.order = order
+		req.attached = req.attached[:0]
+		req.done = false
+	} else {
+		req = &mtRequest{file: file, deadline: deadline, order: order, tried: map[int]bool{}}
+		mt.reqs[file] = req
+	}
 	mt.attachLocked(req)
 	if len(req.attached) == 0 {
 		// No live channel at all: fail immediately rather than hang.
@@ -301,6 +312,8 @@ func (mt *MultiTuner) attachToLocked(req *mtRequest, ch int) {
 
 // cancelOn withdraws a file's collection on one channel. Caller holds
 // mu (the mt.mu → mc.mu order).
+//
+//pinlint:holds mu
 func (mt *MultiTuner) cancelOn(ch int, file string) {
 	mc := mt.chans[ch]
 	mc.mu.Lock()
@@ -320,7 +333,7 @@ func (mt *MultiTuner) finishLocked(req *mtRequest, res ClusterResult) {
 			mt.cancelOn(ch, req.file)
 		}
 	}
-	req.attached = nil
+	req.attached = req.attached[:0]
 	mt.results = append(mt.results, res)
 	for _, r := range mt.reqs {
 		if !r.done {
