@@ -226,8 +226,23 @@
 // graph, which must stay acyclic), and `guarded by <mu>` field comments
 // bind fields to their mutex. goroleak requires every spawned goroutine
 // to show a termination path — a context, stop channel, or WaitGroup —
-// in its control flow. A cold diagnostic inside a hot function is
-// waived in place with //pinlint:allow <analyzer> — justification; the
-// justification text is mandatory. See the README's "Static analysis"
-// section for the full contract and the lock hierarchy diagram.
+// in its control flow.
+//
+// Four interprocedural analyzers reason over the module call graph:
+// chansafe enforces the channel close/ownership contract (a channel is
+// closed once, never sent on after a possible close, and a function
+// closing a channel parameter must declare it send-only — chan<- T —
+// so ownership is visible in the signature); cancelflow requires every
+// blocking operation reachable from a long-running entry point (Serve,
+// Run, Drive, Broadcast, Pump) to be gated by a cancellation signal
+// (ctx.Done, a stop channel, a timer, or a select default) somewhere
+// on the path; slotmath requires schedule-quantity products and shifts
+// to go through the checked internal/slotmath helpers and divisions by
+// schedule quantities to be guarded; and waiverlint keeps the waiver
+// inventory honest. A cold diagnostic inside a hot function is waived
+// in place with //pinlint:allow <analyzer> — justification; the
+// justification text is mandatory and waiverlint fails the build on
+// unjustified, unknown-name, or stale waivers (waiverlint itself
+// cannot be waived). See the README's "Static analysis" section for
+// the full contract and the lock hierarchy diagram.
 package pinbcast

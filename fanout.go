@@ -70,7 +70,7 @@ func (st *Station) Broadcast(ctx context.Context, sink Sink) error {
 		// The sink died mid-stream: stop the serve loop and drain it so
 		// the station is immediately serviceable again.
 		cancel()
-		for range slots {
+		for range slots { //pinlint:allow cancelflow — cancel() above stops the serve loop, which closes slots; the drain is bounded
 		}
 	}
 	return err

@@ -3,9 +3,15 @@
 // invariants — zero-allocation hot paths (syntactically and against
 // the compiler's own escape analysis), injected randomness,
 // mutex-guarded field access, deadlock-free lock ordering, stoppable
-// goroutines, cycle-boundary-only mutation, and sentinel-error
-// wrapping discipline. The flow-sensitive analyzers share the
-// intra-procedural CFG/dataflow layer in cfg.go.
+// goroutines, cycle-boundary-only mutation, sentinel-error wrapping
+// discipline, the channel close/ownership protocol, cancellation gates
+// on every blocking path out of a long-running entry point, checked
+// schedule-quantity arithmetic, and an honest waiver inventory. The
+// flow-sensitive analyzers share the intra-procedural CFG/dataflow
+// layer in cfg.go; the interprocedural ones (chansafe, cancelflow)
+// share the module call graph in callgraph.go (static resolution plus
+// interface-satisfaction dynamic dispatch) and the generic bottom-up
+// function-summary fixpoint in summary.go.
 //
 // The package mirrors the golang.org/x/tools/go/analysis API surface
 // (Analyzer, Pass, Diagnostic) on the standard library alone, so the
@@ -103,32 +109,65 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // //pinlint:allow-suppressed lines already filtered out and the rest in
 // source order.
 func Run(a *Analyzer, pkg *Package, index *Index) ([]Diagnostic, error) {
+	raw, err := index.rawDiags(a, pkg)
+	if err != nil {
+		return nil, err
+	}
+	if a.Name == WaiverLint.Name {
+		// The waiver police cannot be waived: a stale bare allow would
+		// otherwise suppress its own staleness report.
+		return append([]Diagnostic(nil), raw...), nil
+	}
+	allowed := allowedLines(pkg)
+	var kept []Diagnostic
+	for _, d := range raw {
+		if !allowed.allows(pkg.Fset.Position(d.Pos), a.Name) {
+			kept = append(kept, d)
+		}
+	}
+	return kept, nil
+}
+
+// rawDiags runs (once) the analyzer over pkg and caches its unfiltered
+// diagnostics on the index. The cache is what lets waiverlint ask
+// "would this analyzer fire on that line?" without doubling the cost
+// of the whole suite.
+func (ix *Index) rawDiags(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	if ix.raw == nil {
+		ix.raw = map[*Package]map[string]rawResult{}
+	}
+	if r, ok := ix.raw[pkg][a.Name]; ok {
+		return r.diags, r.err
+	}
 	pass := &Pass{
 		Analyzer:  a,
 		Fset:      pkg.Fset,
 		Files:     pkg.Files,
 		Pkg:       pkg.Types,
 		TypesInfo: pkg.TypesInfo,
-		Index:     index,
+		Index:     ix,
 		pkg:       pkg,
 	}
+	r := rawResult{}
 	if err := a.Run(pass); err != nil {
-		return nil, fmt.Errorf("%s: %w", a.Name, err)
+		r.err = fmt.Errorf("%s: %w", a.Name, err)
+	} else {
+		r.diags = pass.diags
+		sort.Slice(r.diags, func(i, j int) bool { return r.diags[i].Pos < r.diags[j].Pos })
 	}
-	allowed := allowedLines(pkg)
-	kept := pass.diags[:0]
-	for _, d := range pass.diags {
-		if !allowed.allows(pkg.Fset.Position(d.Pos), a.Name) {
-			kept = append(kept, d)
-		}
+	if ix.raw[pkg] == nil {
+		ix.raw[pkg] = map[string]rawResult{}
 	}
-	sort.Slice(kept, func(i, j int) bool { return kept[i].Pos < kept[j].Pos })
-	return kept, nil
+	ix.raw[pkg][a.Name] = r
+	return r.diags, r.err
 }
 
 // All returns the full pinlint analyzer suite in reporting order.
+// WaiverLint runs last: by then the suite's raw diagnostics for the
+// package are already cached and staleness checks are free.
 func All() []*Analyzer {
-	return []*Analyzer{HotPath, AllocProve, NoRand, LockCheck, LockOrder, GoroLeak, CycleBoundary, ErrWrap}
+	return []*Analyzer{HotPath, AllocProve, NoRand, LockCheck, LockOrder, GoroLeak, CycleBoundary, ErrWrap,
+		ChanSafe, CancelFlow, SlotMath, WaiverLint}
 }
 
 // errorType is the predeclared error interface, for implements checks.

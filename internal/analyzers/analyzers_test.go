@@ -52,6 +52,26 @@ func TestErrWrap(t *testing.T) {
 	checktest.Run(t, analyzers.ErrWrap, "testdata/src/errwrapgood")
 }
 
+func TestChanSafe(t *testing.T) {
+	checktest.Run(t, analyzers.ChanSafe, "testdata/src/chansafebad")
+	checktest.Run(t, analyzers.ChanSafe, "testdata/src/chansafegood")
+}
+
+func TestCancelFlow(t *testing.T) {
+	checktest.Run(t, analyzers.CancelFlow, "testdata/src/cancelflowbad")
+	checktest.Run(t, analyzers.CancelFlow, "testdata/src/cancelflowgood")
+}
+
+func TestSlotMath(t *testing.T) {
+	checktest.Run(t, analyzers.SlotMath, "testdata/src/slotmathbad")
+	checktest.Run(t, analyzers.SlotMath, "testdata/src/slotmathgood")
+}
+
+func TestWaiverLint(t *testing.T) {
+	checktest.Run(t, analyzers.WaiverLint, "testdata/src/waiverlintbad")
+	checktest.Run(t, analyzers.WaiverLint, "testdata/src/waiverlintgood")
+}
+
 // TestModuleClean is the suite's self-check: every analyzer over every
 // package of the module must report nothing. This is the same gate CI's
 // lint job enforces through cmd/pinlint, kept here so `go test` alone

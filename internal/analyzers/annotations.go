@@ -26,11 +26,31 @@ type Index struct {
 	pkgs []*Package
 	// lockG caches lockorder's module-wide acquisition graph.
 	lockG *lockGraph
+	// cg caches the module call graph (callgraph.go).
+	cg *callGraph
+	// raw caches each analyzer's unfiltered diagnostics per package, so
+	// waiverlint can test waivers for staleness without re-running the
+	// suite (allocprove in particular shells out to the compiler).
+	raw map[*Package]map[string]rawResult
+	// sums caches interprocedural function summaries by analyzer name
+	// (chansafe's close/send facts, cancelflow's blocking sites).
+	sums map[string]any
+}
+
+// rawResult is one cached analyzer run: diagnostics before
+// //pinlint:allow filtering, in source order.
+type rawResult struct {
+	diags []Diagnostic
+	err   error
 }
 
 // NewIndex returns an empty index for the given module path.
 func NewIndex(module string) *Index {
-	return &Index{Module: module, funcs: map[string]map[string]string{}}
+	return &Index{
+		Module: module,
+		funcs:  map[string]map[string]string{},
+		sums:   map[string]any{},
+	}
 }
 
 // AddPackage scans one loaded package's function declarations for

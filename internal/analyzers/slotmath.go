@@ -1,0 +1,272 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SlotMath enforces integer safety on schedule algebra. The paper's
+// guarantees are window arithmetic over periods, frequencies, and slot
+// counts; the products that combine them (data cycles, major cycles,
+// lcm of frequencies) can overflow int on adversarial specifications,
+// and a silently-wrapped cycle length voids every downstream window
+// proof. The rules:
+//
+//   - no local lcm helper outside internal/slotmath — the checked
+//     LCM/Mul/Shl there are the only sanctioned way to combine
+//     schedule quantities;
+//   - a `*` or `<<` whose operands BOTH involve schedule-named integer
+//     values (period, frequency, cycle, slot counts) must go through
+//     internal/slotmath, which reports overflow instead of wrapping;
+//   - a `/` or `%` by a schedule-named local or parameter must be
+//     dominated by a guard comparing that variable (a possibly-zero
+//     period divides nothing). Struct fields are exempt: constructors
+//     validate them.
+//
+// internal/slotmath itself is exempt (it implements the helpers).
+var SlotMath = &Analyzer{
+	Name: "slotmath",
+	Doc:  "require checked internal/slotmath helpers for schedule-quantity products and guarded divisors",
+	Run:  runSlotMath,
+}
+
+func runSlotMath(pass *Pass) error {
+	if strings.HasSuffix(pass.pkg.PkgPath, "internal/slotmath") {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if strings.EqualFold(fd.Name.Name, "lcm") {
+				pass.Reportf(fd.Name.Pos(), "local %s helper wraps on overflow; use internal/slotmath.LCM", fd.Name.Name)
+			}
+			if fd.Body == nil {
+				continue
+			}
+			checkSlotMathBody(pass, fd.Body)
+			for _, lit := range funcLits(fd.Body) {
+				checkSlotMathBody(pass, lit.Body)
+			}
+		}
+	}
+	return nil
+}
+
+// checkSlotMathBody scans one body (closures excluded — they get their
+// own scan, with their own CFG for divisor guards).
+func checkSlotMathBody(pass *Pass, body *ast.BlockStmt) {
+	var cfg *CFG // built lazily: only divisions need dominance
+	ast.Inspect(body, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit, *ast.DeferStmt:
+			return false
+		case *ast.BinaryExpr:
+			switch x.Op {
+			case token.MUL, token.SHL:
+				checkSchedProduct(pass, x.Op, x.X, x.Y, x.OpPos)
+			case token.QUO, token.REM:
+				cfg = checkSchedDivisor(pass, body, cfg, x.Y)
+			}
+		case *ast.AssignStmt:
+			if len(x.Lhs) != 1 || len(x.Rhs) != 1 {
+				return true
+			}
+			switch x.Tok {
+			case token.MUL_ASSIGN, token.SHL_ASSIGN:
+				op := token.MUL
+				if x.Tok == token.SHL_ASSIGN {
+					op = token.SHL
+				}
+				checkSchedProduct(pass, op, x.Lhs[0], x.Rhs[0], x.TokPos)
+			case token.QUO_ASSIGN, token.REM_ASSIGN:
+				cfg = checkSchedDivisor(pass, body, cfg, x.Rhs[0])
+			}
+		}
+		return true
+	})
+}
+
+func checkSchedProduct(pass *Pass, op token.Token, lhs, rhs ast.Expr, pos token.Pos) {
+	if !mentionsSchedQuantity(pass, lhs) || !mentionsSchedQuantity(pass, rhs) {
+		return
+	}
+	verb, helper := "product", "Mul (or LCM)"
+	if op == token.SHL {
+		verb, helper = "shift", "Shl"
+	}
+	pass.Reportf(pos, "unchecked schedule-quantity %s wraps on overflow; use internal/slotmath.%s", verb, helper)
+}
+
+// mentionsSchedQuantity reports whether the expression involves an
+// integer-typed identifier (or field) with a schedule-quantity name.
+func mentionsSchedQuantity(pass *Pass, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		id, ok := x.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[id]
+		}
+		if obj == nil || !isIntegerType(obj.Type()) {
+			return true
+		}
+		if isSchedName(id.Name) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+func isIntegerType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// isSchedName matches the schedule-quantity vocabulary: periods,
+// frequencies, cycles, and slot counts.
+func isSchedName(name string) bool {
+	l := strings.ToLower(name)
+	if strings.Contains(l, "period") || strings.Contains(l, "freq") || strings.Contains(l, "cycle") {
+		return true
+	}
+	switch l {
+	case "slot", "slots", "nslots", "slotcount":
+		return true
+	}
+	return false
+}
+
+// checkSchedDivisor flags `x / d` and `x % d` where d is a
+// schedule-named local or parameter with no dominating guard. It
+// builds (and returns, for reuse) the body's CFG only when a candidate
+// divisor appears.
+func checkSchedDivisor(pass *Pass, body *ast.BlockStmt, cfg *CFG, div ast.Expr) *CFG {
+	id, ok := unparen(div).(*ast.Ident)
+	if !ok || !isSchedName(id.Name) {
+		return cfg
+	}
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || v.IsField() || !isIntegerType(v.Type()) {
+		return cfg
+	}
+	if cfg == nil {
+		cfg = NewCFG(body)
+	}
+	if !divisorGuarded(cfg, id, v) {
+		pass.Reportf(id.Pos(), "%s may be zero here; guard it (or validate at construction) before dividing", id.Name)
+	}
+	return cfg
+}
+
+// divisorGuarded reports whether every CFG path from the entry to the
+// division passes a block containing a comparison of the divisor
+// variable: reachability is re-tested with guard blocks removed.
+func divisorGuarded(cfg *CFG, div *ast.Ident, v *types.Var) bool {
+	var target *Block
+	for _, b := range cfg.Blocks {
+		for _, nd := range b.Nodes {
+			if nd.Pos() <= div.Pos() && div.End() <= nd.End() {
+				target = b
+			}
+		}
+	}
+	if target == nil {
+		return false // not in this body's flow (shouldn't happen): flag
+	}
+	if target == cfg.Entry {
+		// The division is in the entry block: nothing can dominate it
+		// (same-block guards are not credited, see below).
+		return false
+	}
+	guards := map[*Block]bool{}
+	for _, b := range cfg.Blocks {
+		if b == target {
+			continue // a guard after the division doesn't count… but in
+			// the same straight-line block it precedes it often enough;
+			// keeping the division's own block removable would make the
+			// check vacuous, so same-block guards are NOT credited.
+		}
+		for _, nd := range b.Nodes {
+			if nodeComparesVar(nd, v) {
+				guards[b] = true
+			}
+		}
+	}
+	if len(guards) == 0 {
+		return false
+	}
+	// BFS from entry avoiding guard blocks: reaching the division means
+	// an unguarded path exists.
+	seen := map[*Block]bool{cfg.Entry: true}
+	stack := []*Block{cfg.Entry}
+	if guards[cfg.Entry] {
+		return true // the guard sits before any branch
+	}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range b.Succs {
+			if seen[s] || guards[s] {
+				continue
+			}
+			if s == target {
+				return false
+			}
+			seen[s] = true
+			stack = append(stack, s)
+		}
+	}
+	return true
+}
+
+// nodeComparesVar reports whether the node contains a comparison
+// involving the variable (outside nested closures).
+func nodeComparesVar(nd ast.Node, v *types.Var) bool {
+	found := false
+	ast.Inspect(nd, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		b, ok := x.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch b.Op {
+		case token.EQL, token.NEQ, token.LSS, token.GTR, token.LEQ, token.GEQ:
+			if exprUsesVar(b.X, v) || exprUsesVar(b.Y, v) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func exprUsesVar(e ast.Expr, v *types.Var) bool {
+	found := false
+	ast.Inspect(e, func(x ast.Node) bool {
+		if id, ok := x.(*ast.Ident); ok && id.Name == v.Name() {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,35 @@
+package analyzers
+
+// summarize runs a generic bottom-up function-summary fixpoint over
+// the module call graph: compute derives one function's summary from
+// its body and (via get) the current summaries of its callees, and the
+// whole map is re-derived until nothing changes. Callee summaries
+// start at the zero value of S, so compute must treat a zero summary
+// as "nothing known yet" (⊥); with a monotone compute over a bounded
+// domain — the usual "union of callee facts, capped" shape — the
+// iteration terminates even through recursion and mutual recursion.
+//
+// This is the interprocedural analogue of cfg.go's Iterate: that one
+// propagates facts block-to-block inside a function, this one
+// propagates facts callee-to-caller across the module.
+func summarize[S any](g *callGraph, compute func(n *cgNode, get func(*cgNode) S) S, equal func(a, b S) bool) map[*cgNode]S {
+	cur := map[*cgNode]S{}
+	get := func(n *cgNode) S { return cur[n] }
+	// maxRounds bounds a non-monotone compute; a correct one stabilizes
+	// in O(depth of the call graph) rounds.
+	const maxRounds = 1000
+	for round := 0; round < maxRounds; round++ {
+		changed := false
+		for _, n := range g.nodes {
+			next := compute(n, get)
+			if prev, ok := cur[n]; !ok || !equal(prev, next) {
+				cur[n] = next
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return cur
+}

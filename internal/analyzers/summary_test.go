@@ -1,0 +1,111 @@
+package analyzers
+
+import "testing"
+
+// callsLeaf is the toy summary used below: does this function
+// transitively call leaf()?
+func callsLeaf(g *callGraph) map[*cgNode]bool {
+	return summarize(g,
+		func(n *cgNode, get func(*cgNode) bool) bool {
+			if n.Fn.Name() == "leaf" {
+				return true
+			}
+			for _, site := range n.Out {
+				for _, c := range site.Callees {
+					if get(c) {
+						return true
+					}
+				}
+			}
+			return false
+		},
+		func(a, b bool) bool { return a == b },
+	)
+}
+
+func TestSummarizePropagation(t *testing.T) {
+	_, ix := typeCheckSource(t, `package p
+func leaf()  {}
+func a()     { leaf() }
+func b()     { a() }
+func c()     { b() }
+func off()   {}
+`)
+	g := ix.callGraph()
+	sums := callsLeaf(g)
+	for name, want := range map[string]bool{"leaf": true, "a": true, "b": true, "c": true, "off": false} {
+		if got := sums[g.node(t, name)]; got != want {
+			t.Errorf("callsLeaf[%s] = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestSummarizeRecursionTerminates(t *testing.T) {
+	// Self- and mutual recursion: the fixpoint must terminate and still
+	// propagate facts through the cycle.
+	_, ix := typeCheckSource(t, `package p
+func leaf() {}
+func self(n int) { if n > 0 { self(n - 1) }; leaf() }
+func ping(n int) { if n > 0 { pong(n - 1) } }
+func pong(n int) { if n > 0 { ping(n - 1) }; leaf() }
+func dry(n int)  { if n > 0 { dry(n - 1) } }
+`)
+	g := ix.callGraph()
+	sums := callsLeaf(g)
+	for name, want := range map[string]bool{"self": true, "ping": true, "pong": true, "dry": false} {
+		if got := sums[g.node(t, name)]; got != want {
+			t.Errorf("callsLeaf[%s] = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestSummarizeThroughDynamicDispatch(t *testing.T) {
+	// A fact behind an interface edge reaches the dynamic caller via the
+	// implementation set.
+	_, ix := typeCheckSource(t, `package p
+func leaf() {}
+type doer interface{ do() }
+type impl struct{}
+func (impl) do()    { leaf() }
+func Drive(d doer)  { d.do() }
+`)
+	g := ix.callGraph()
+	sums := callsLeaf(g)
+	if !sums[g.node(t, "Drive")] {
+		t.Error("fact did not propagate through interface dispatch")
+	}
+}
+
+func TestSummarizeCountsToFixpoint(t *testing.T) {
+	// A numeric (non-boolean) summary: longest call chain below each
+	// node, saturated at 5 so the recursive cycle converges.
+	_, ix := typeCheckSource(t, `package p
+func d0()       {}
+func d1()       { d0() }
+func d2()       { d1() }
+func loop(n int) { if n > 0 { loop(n - 1) }; d2() }
+`)
+	g := ix.callGraph()
+	depth := summarize(g,
+		func(n *cgNode, get func(*cgNode) int) int {
+			max := 0
+			for _, site := range n.Out {
+				for _, c := range site.Callees {
+					if d := get(c) + 1; d > max {
+						max = d
+					}
+				}
+			}
+			if max > 5 {
+				max = 5
+			}
+			return max
+		},
+		func(a, b int) bool { return a == b },
+	)
+	for name, want := range map[string]int{"d0": 0, "d1": 1, "d2": 2, "loop": 5} {
+		if got := depth[g.node(t, name)]; got != want {
+			t.Errorf("depth[%s] = %d, want %d", name, got, want)
+		}
+	}
+}

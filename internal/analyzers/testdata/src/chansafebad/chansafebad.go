@@ -1,0 +1,65 @@
+// Package chansafebad violates the channel close/ownership protocol:
+// double closes, sends after a (possible) close, closed channels handed
+// to closers, and close ownership hidden behind a bidirectional
+// parameter.
+package chansafebad
+
+// Owner closes a channel it accepts bidirectionally: the close side of
+// the protocol must be visible in the signature.
+func Owner(out chan int) { // want "Owner closes bidirectional channel parameter out"
+	out <- 1
+	close(out)
+}
+
+// shut is a proper send-only closer; callers below misuse it.
+func shut(ch chan<- int) {
+	close(ch)
+}
+
+// shutdown delegates its close one level further down; the summary
+// still reaches callers.
+func shutdown(ch chan<- int) {
+	shut(ch)
+}
+
+func DoubleClose() {
+	ch := make(chan int)
+	close(ch)
+	close(ch) // want "second close of ch on this path"
+}
+
+func SendAfterClose() {
+	ch := make(chan int)
+	close(ch)
+	ch <- 1 // want "send on ch, which may already be closed"
+}
+
+// MaybeClosed closes on only one branch: the join still may-closed.
+func MaybeClosed(cond bool) {
+	ch := make(chan int)
+	if cond {
+		close(ch)
+	}
+	ch <- 2 // want "send on ch, which may already be closed"
+}
+
+func CloseThenDelegate() {
+	ch := make(chan int)
+	close(ch)
+	shut(ch) // want "ch may already be closed when passed to shut, which closes it"
+}
+
+// DelegateThenSend learns the close from shut's summary.
+func DelegateThenSend() {
+	ch := make(chan int)
+	shut(ch)
+	ch <- 3 // want "send on ch, which may already be closed"
+}
+
+// TwoLevels learns the close through shutdown → shut: the summary
+// fixpoint, not a single hop.
+func TwoLevels() {
+	ch := make(chan int)
+	close(ch)
+	shutdown(ch) // want "ch may already be closed when passed to shutdown, which closes it"
+}

@@ -1,0 +1,47 @@
+// Package chansafegood follows the channel close/ownership protocol:
+// close ownership declared send-only, one close per channel, no sends
+// after it.
+package chansafegood
+
+// serveLoop owns the close and says so: the parameter is send-only.
+func serveLoop(out chan<- int) {
+	out <- 1
+	close(out)
+}
+
+// Stream hands the channel to its closing owner and only receives.
+func Stream() int {
+	ch := make(chan int)
+	go serveLoop(ch)
+	return <-ch
+}
+
+// DeferClose sends freely before the deferred close runs at exit.
+func DeferClose() {
+	ch := make(chan int)
+	defer close(ch)
+	ch <- 1
+	ch <- 2
+}
+
+// TwoChannels closes each channel once; the keys never alias.
+func TwoChannels() {
+	a := make(chan int)
+	b := make(chan int)
+	close(a)
+	b <- 1
+	close(b)
+}
+
+// feed only sends: no close ownership to declare.
+func feed(ch chan<- int, v int) {
+	ch <- v
+}
+
+// FeedThenClose delegates sends, then closes exactly once itself.
+func FeedThenClose() {
+	ch := make(chan int)
+	feed(ch, 1)
+	feed(ch, 2)
+	close(ch)
+}

@@ -1,0 +1,56 @@
+// Package slotmathbad combines schedule quantities with unchecked
+// arithmetic: a local lcm, raw products and shifts of periods and
+// frequencies, and divisions by possibly-zero schedule values.
+package slotmathbad
+
+// lcm wraps on overflow; internal/slotmath.LCM reports it instead.
+func lcm(a, b int) int { // want "local lcm helper wraps on overflow"
+	return a / gcd(a, b) * b
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// Cycle multiplies two schedule quantities without a check.
+func Cycle(period, freq int) int {
+	return period * freq // want "unchecked schedule-quantity product"
+}
+
+// Grow compounds a cycle in place.
+func Grow(cycle, period int) int {
+	cycle *= period // want "unchecked schedule-quantity product"
+	return cycle
+}
+
+// Widen shifts a cycle by a slot count.
+func Widen(cycle, slots int) int {
+	return cycle << slots // want "unchecked schedule-quantity shift"
+}
+
+// PerSlot divides by a period nothing validated.
+func PerSlot(total, period int) int {
+	return total / period // want "period may be zero here"
+}
+
+// Phase takes the remainder by an unguarded frequency.
+func Phase(t, freq int, fast bool) int {
+	if fast {
+		return t
+	}
+	return t % freq // want "freq may be zero here"
+}
+
+// Bypass guards on one branch only: the unguarded path still reaches
+// the division.
+func Bypass(n, period int, check bool) int {
+	if check {
+		if period == 0 {
+			return 0
+		}
+	}
+	return n / period // want "period may be zero here"
+}

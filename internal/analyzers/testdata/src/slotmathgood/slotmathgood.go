@@ -1,0 +1,38 @@
+// Package slotmathgood does schedule arithmetic the sanctioned way:
+// products of non-schedule (or mixed) quantities, and divisions
+// dominated by a guard on the divisor.
+package slotmathgood
+
+// area multiplies plain quantities: no schedule names involved.
+func area(w, h int) int { return w * h }
+
+// scale has a schedule quantity on one side only: scaling by an
+// arbitrary factor is not a schedule-algebra product.
+func scale(period, k int) int { return period * k }
+
+// perSlot guards the divisor before every division path.
+func perSlot(total, period int) int {
+	if period <= 0 {
+		return 0
+	}
+	return total / period
+}
+
+// phase guards with an early return.
+func phase(t, freq int) int {
+	if freq == 0 {
+		return t
+	}
+	return t % freq
+}
+
+// bothPaths guards on every branch that reaches the division.
+func bothPaths(n, cycle int, deep bool) int {
+	if cycle < 1 {
+		return 0
+	}
+	if deep {
+		return n / cycle
+	}
+	return n % cycle
+}

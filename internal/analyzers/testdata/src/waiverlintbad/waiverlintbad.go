@@ -1,0 +1,29 @@
+// Package waiverlintbad abuses the //pinlint:allow mechanism: waivers
+// with no justification, waivers naming analyzers that do not exist,
+// and waivers suppressing diagnostics that no longer fire.
+package waiverlintbad
+
+import "math/rand"
+
+// Unjustified: the norand hit is real, but the waiver must say why it
+// is safe.
+func jitter() int {
+	return rand.Intn(6) //pinlint:allow norand // want "waiver has no justification"
+}
+
+// Unknown analyzer name: a typo silently waives nothing forever.
+func typo() int {
+	return rand.Intn(6) //pinlint:allow norandom — meant norand // want "waiver names unknown analyzer"
+}
+
+// Stale: nothing fires on this line anymore; the waiver overstates the
+// debt and must be deleted.
+func tidy() int {
+	return 4 //pinlint:allow norand — the dice roll was removed long ago // want "stale waiver: norand no longer fires on this line"
+}
+
+// A bare allow with no text at all is both unjustified and, with
+// nothing firing here, stale against every analyzer.
+func quiet() int {
+	return 5 //pinlint:allow // want "waiver has no justification" "stale waiver: no analyzer no longer fires on this line"
+}

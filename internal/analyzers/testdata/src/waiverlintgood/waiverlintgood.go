@@ -1,0 +1,17 @@
+// Package waiverlintgood uses //pinlint:allow the way the policy
+// demands: every waiver justified, every waiver still suppressing a
+// live diagnostic.
+package waiverlintgood
+
+import "math/rand"
+
+// Justified and live: norand fires here, and the waiver says why that
+// is fine.
+func jitter() int {
+	return rand.Intn(6) //pinlint:allow norand — fixture jitter need not be reproducible
+}
+
+// A multi-name waiver is live as long as any named analyzer fires.
+func shuffle() int {
+	return rand.Intn(52) //pinlint:allow norand lockcheck — deck order is decorative; no lock is held
+}

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"pinbcast/internal/bcerr"
+)
+
+// TestDataCycleOverflow feeds NewProgram an adversarial file set whose
+// data cycle — the lcm of per-file rotation lengths — exceeds the int
+// range: three files with large pairwise-coprime dispersal widths, one
+// slot each. The unchecked `a/gcd*b` this replaces silently wrapped,
+// handing downstream window verification a bogus (possibly negative)
+// cycle; the checked construction must refuse with ErrBadSpec.
+func TestDataCycleOverflow(t *testing.T) {
+	files := []FileInfo{
+		{Name: "a", M: 1, N: 1000000007, Demand: 1},
+		{Name: "b", M: 1, N: 1000000009, Demand: 1},
+		{Name: "c", M: 1, N: 1000000021, Demand: 1},
+	}
+	_, err := NewProgram(files, []int{0, 1, 2}, 0, "test")
+	if err == nil {
+		t.Fatal("NewProgram accepted a program whose data cycle overflows int")
+	}
+	if !errors.Is(err, bcerr.ErrBadSpec) {
+		t.Fatalf("overflow error = %v, want errors.Is(…, ErrBadSpec)", err)
+	}
+}
+
+// TestDataCycleLargeButFeasible pins the boundary: two large coprime
+// widths whose lcm still fits must build, and DataCycle must return the
+// exact product of rotation lengths times the period.
+func TestDataCycleLargeButFeasible(t *testing.T) {
+	files := []FileInfo{
+		{Name: "a", M: 1, N: 1000000007, Demand: 1},
+		{Name: "b", M: 1, N: 1000000009, Demand: 1},
+	}
+	p, err := NewProgram(files, []int{0, 1}, 0, "test")
+	if err != nil {
+		t.Fatalf("NewProgram: %v", err)
+	}
+	want := 1000000007 * 1000000009 * 2 // lcm(N_a, N_b) × period
+	if got := p.DataCycle(); got != want {
+		t.Fatalf("DataCycle() = %d, want %d", got, want)
+	}
+}

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"strings"
 
+	"pinbcast/internal/bcerr"
 	"pinbcast/internal/pinwheel"
+	"pinbcast/internal/slotmath"
 )
 
 // Idle marks an unallocated program slot.
@@ -31,9 +33,12 @@ type Program struct {
 	Origin    string
 
 	// perPeriod[i] is the number of slots of file i per period;
-	// prefix[i][t] counts slots of file i in [0, t).
+	// prefix[i][t] counts slots of file i in [0, t); cycle is the
+	// precomputed data-cycle length in slots (overflow-checked at
+	// construction, so DataCycle stays a plain accessor).
 	perPeriod []int
 	prefix    [][]int32
+	cycle     int
 }
 
 // NewProgram assembles a program and precomputes its occurrence index.
@@ -70,6 +75,24 @@ func NewProgram(files []FileInfo, slots []int, bandwidth int, origin string) (*P
 		if p.perPeriod[i] == 0 {
 			return nil, fmt.Errorf("core: file %q never scheduled", f.Name)
 		}
+	}
+	// Precompute the data cycle (§2.3): the smallest multiple of the
+	// period after which every file's AIDA block rotation re-aligns
+	// with its slots. File i repeats after N/gcd(c, N) periods, so the
+	// cycle is the lcm over files — which adversarial specifications
+	// (large coprime dispersal widths) can push past the int range.
+	cycle := 1
+	for i := range files {
+		c, n := p.perPeriod[i], p.Files[i].N
+		rep := n / slotmath.GCD(c, n)
+		var err error
+		if cycle, err = slotmath.LCM(cycle, rep); err != nil {
+			return nil, fmt.Errorf("core: data cycle of %d files overflows: %w", len(files), bcerr.ErrBadSpec)
+		}
+	}
+	var err error
+	if p.cycle, err = slotmath.Mul(cycle, p.Period); err != nil {
+		return nil, fmt.Errorf("core: data cycle %d × period %d overflows: %w", cycle, p.Period, bcerr.ErrBadSpec)
 	}
 	return p, nil
 }
@@ -152,16 +175,9 @@ func (p *Program) MaxGap(i int) int {
 
 // DataCycle returns the length in slots of the program data cycle
 // (§2.3): the smallest multiple of the period after which every file's
-// block rotation re-aligns with its slots.
-func (p *Program) DataCycle() int {
-	cycle := 1
-	for i := range p.Files {
-		// File i repeats after N/gcd(c, N) periods.
-		c, n := p.perPeriod[i], p.Files[i].N
-		cycle = lcm(cycle, n/gcd(c, n))
-	}
-	return cycle * p.Period
-}
+// block rotation re-aligns with its slots. The value is precomputed
+// (overflow-checked) by NewProgram.
+func (p *Program) DataCycle() int { return p.cycle }
 
 // LatencyProfile reports the mean and worst-case fault-free retrieval
 // latency of file i over every start slot: the time until the file's
@@ -267,12 +283,3 @@ func (p *Program) RenderCycle(slots int) string {
 	}
 	return strings.Join(parts, " ")
 }
-
-func gcd(a, b int) int {
-	for b != 0 {
-		a, b = b, a%b
-	}
-	return a
-}
-
-func lcm(a, b int) int { return a / gcd(a, b) * b }

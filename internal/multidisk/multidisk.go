@@ -16,7 +16,9 @@ import (
 	"fmt"
 	"sort"
 
+	"pinbcast/internal/bcerr"
 	"pinbcast/internal/core"
+	"pinbcast/internal/slotmath"
 )
 
 // Disk is one broadcast disk: a relative spinning frequency and the
@@ -55,13 +57,17 @@ func BuildProgram(disks []Disk) (*core.Program, error) {
 		if err := d.Validate(); err != nil {
 			return nil, err
 		}
-		g = gcd(g, d.Frequency)
+		g = slotmath.GCD(g, d.Frequency)
 	}
 	freqs := make([]int, len(disks))
 	l := 1
 	for i, d := range disks {
 		freqs[i] = d.Frequency / g
-		l = lcm(l, freqs[i])
+		var err error
+		if l, err = slotmath.LCM(l, freqs[i]); err != nil {
+			return nil, fmt.Errorf("multidisk: major cycle (lcm of %d disk frequencies) overflows: %w",
+				len(disks), bcerr.ErrInfeasible)
+		}
 	}
 
 	// Flatten each disk's contents into block-granularity entries of
@@ -96,7 +102,11 @@ func BuildProgram(disks []Disk) (*core.Program, error) {
 	}
 	chunks := make([]chunked, len(disks))
 	for di := range disks {
-		nc := l / freqs[di]
+		freq := freqs[di]
+		if freq < 1 {
+			return nil, fmt.Errorf("multidisk: disk %d normalized frequency %d < 1: %w", di, freq, bcerr.ErrInfeasible)
+		}
+		nc := l / freq
 		size := (len(contents[di]) + nc - 1) / nc
 		data := make([]int, nc*size)
 		for i := range data {
@@ -144,8 +154,11 @@ func AutoTier(files []core.FileSpec) ([]Disk, error) {
 		}
 	}
 	tier := func(f core.FileSpec) int {
+		// freq doubles while 2·freq·L ≤ Lmax, i.e. freq ≤ Lmax/L/2 in
+		// floor arithmetic — phrased divisively so the loop cannot
+		// overflow (or spin forever) on adversarial latency ratios.
 		freq := 1
-		for 2*freq*f.Latency <= maxLat {
+		for freq <= maxLat/f.Latency/2 {
 			freq *= 2
 		}
 		return freq
@@ -189,12 +202,3 @@ func LatencyProfile(p *core.Program, file int) (mean float64, worst int) {
 func WeightedMeanLatency(p *core.Program, probs []float64) float64 {
 	return p.WeightedMeanLatency(probs)
 }
-
-func gcd(a, b int) int {
-	for b != 0 {
-		a, b = b, a%b
-	}
-	return a
-}
-
-func lcm(a, b int) int { return a / gcd(a, b) * b }

@@ -1,0 +1,56 @@
+package multidisk
+
+import (
+	"errors"
+	"testing"
+
+	"pinbcast/internal/bcerr"
+	"pinbcast/internal/core"
+)
+
+// TestMajorCycleOverflow hands BuildProgram three disks with large
+// pairwise-coprime frequencies, so the major cycle (their lcm) exceeds
+// the int range. The unchecked `a/gcd*b` this replaces silently
+// wrapped into a bogus cycle length; the checked build must refuse
+// with ErrInfeasible before attempting to materialize the program.
+func TestMajorCycleOverflow(t *testing.T) {
+	disks := []Disk{
+		{Frequency: 1000000007, Files: []core.FileSpec{{Name: "a", Blocks: 1, Latency: 1}}},
+		{Frequency: 1000000009, Files: []core.FileSpec{{Name: "b", Blocks: 1, Latency: 1}}},
+		{Frequency: 1000000021, Files: []core.FileSpec{{Name: "c", Blocks: 1, Latency: 1}}},
+	}
+	_, err := BuildProgram(disks)
+	if err == nil {
+		t.Fatal("BuildProgram accepted disks whose major cycle overflows int")
+	}
+	if !errors.Is(err, bcerr.ErrInfeasible) {
+		t.Fatalf("overflow error = %v, want errors.Is(…, ErrInfeasible)", err)
+	}
+}
+
+// TestAutoTierExtremeLatencyRatio drives the tiering loop with a
+// latency ratio near MaxInt: the frequency doubling must terminate
+// (the multiplicative form 2·freq·L ≤ Lmax overflowed and could spin
+// or mis-tier) and the hot file must land on the fastest disk.
+func TestAutoTierExtremeLatencyRatio(t *testing.T) {
+	files := []core.FileSpec{
+		{Name: "hot", Blocks: 1, Latency: 1},
+		{Name: "cold", Blocks: 1, Latency: 1 << 62},
+	}
+	disks, err := AutoTier(files)
+	if err != nil {
+		t.Fatalf("AutoTier: %v", err)
+	}
+	if len(disks) != 2 {
+		t.Fatalf("got %d disks, want 2", len(disks))
+	}
+	if disks[0].Frequency <= disks[1].Frequency {
+		t.Fatalf("disks not hottest-first: %d then %d", disks[0].Frequency, disks[1].Frequency)
+	}
+	if disks[0].Frequency != 1<<62 {
+		t.Fatalf("hot tier frequency = %d, want 2^62", disks[0].Frequency)
+	}
+	if disks[0].Files[0].Name != "hot" {
+		t.Fatalf("fastest disk carries %q, want hot", disks[0].Files[0].Name)
+	}
+}

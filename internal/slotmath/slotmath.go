@@ -1,0 +1,98 @@
+// Package slotmath provides checked integer arithmetic for schedule
+// algebra: periods, frequencies, slot counts, and data-cycle lengths.
+//
+// Pinwheel and multi-disk constructions combine per-file quantities
+// with lcm and multiplication, and adversarial specifications (large
+// coprime frequencies, huge dispersal widths) can push the results past
+// the int range. Plain `a / gcd(a,b) * b` silently wraps, turning an
+// infeasible specification into a bogus — possibly negative — cycle
+// length that downstream window verification then trusts. Every
+// schedule-quantity product in the module must therefore go through
+// this package, which reports overflow as an error the caller can wrap
+// into its own sentinel (ErrBadSpec, ErrInfeasible). The slotmath
+// analyzer in internal/analyzers enforces the "must go through"
+// part mechanically.
+package slotmath
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrOverflow reports that a schedule-algebra result does not fit in an
+// int. Callers wrap it into their domain sentinel.
+var ErrOverflow = errors.New("slotmath: integer overflow")
+
+// GCD returns the greatest common divisor of a and b by Euclid's
+// algorithm. GCD(0, 0) = 0. Negative inputs yield the gcd of their
+// absolute values, except math.MinInt whose magnitude is not
+// representable; schedule quantities are non-negative in practice.
+func GCD(a, b int) int {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// Mul returns a*b, or ErrOverflow when the product does not fit in an
+// int.
+func Mul(a, b int) (int, error) {
+	if a == 0 || b == 0 {
+		return 0, nil
+	}
+	if a == math.MinInt || b == math.MinInt {
+		// |MinInt| is not representable, so any product other than
+		// MinInt*1 overflows; the division check below would itself
+		// fault on MinInt / -1.
+		if a == 1 {
+			return b, nil
+		}
+		if b == 1 {
+			return a, nil
+		}
+		return 0, ErrOverflow
+	}
+	p := a * b
+	if p/b != a {
+		return 0, ErrOverflow
+	}
+	return p, nil
+}
+
+// LCM returns the least common multiple of a and b, or ErrOverflow when
+// it does not fit in an int. LCM(0, x) = LCM(x, 0) = 0. Inputs are
+// taken by absolute value, matching the non-negative convention of GCD.
+func LCM(a, b int) (int, error) {
+	if a == 0 || b == 0 {
+		return 0, nil
+	}
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	if a < 0 || b < 0 { // math.MinInt: magnitude unrepresentable
+		return 0, ErrOverflow
+	}
+	return Mul(a/GCD(a, b), b)
+}
+
+// Shl returns a << s, or ErrOverflow when the shift drops significant
+// bits or s is out of range. a must be non-negative.
+func Shl(a, s int) (int, error) {
+	if a < 0 || s < 0 || s >= 64 {
+		return 0, ErrOverflow
+	}
+	r := a << s
+	if r>>s != a || r < 0 {
+		return 0, ErrOverflow
+	}
+	return r, nil
+}

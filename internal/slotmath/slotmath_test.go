@@ -1,0 +1,98 @@
+package slotmath
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestGCD(t *testing.T) {
+	cases := []struct{ a, b, want int }{
+		{0, 0, 0},
+		{0, 7, 7},
+		{7, 0, 7},
+		{12, 18, 6},
+		{18, 12, 6},
+		{1, 1, 1},
+		{-12, 18, 6},
+		{12, -18, 6},
+		{1000000007, 1000000009, 1}, // large coprimes
+	}
+	for _, c := range cases {
+		if got := GCD(c.a, c.b); got != c.want {
+			t.Errorf("GCD(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMul(t *testing.T) {
+	if got, err := Mul(6, 7); err != nil || got != 42 {
+		t.Errorf("Mul(6, 7) = %d, %v", got, err)
+	}
+	if got, err := Mul(0, math.MaxInt); err != nil || got != 0 {
+		t.Errorf("Mul(0, MaxInt) = %d, %v", got, err)
+	}
+	if got, err := Mul(math.MinInt, 1); err != nil || got != math.MinInt {
+		t.Errorf("Mul(MinInt, 1) = %d, %v", got, err)
+	}
+	if got, err := Mul(-3, 5); err != nil || got != -15 {
+		t.Errorf("Mul(-3, 5) = %d, %v", got, err)
+	}
+	for _, c := range [][2]int{
+		{math.MaxInt, 2},
+		{math.MaxInt/2 + 1, 2},
+		{math.MinInt, -1},
+		{math.MinInt, 2},
+		{1 << 32, 1 << 32},
+	} {
+		if _, err := Mul(c[0], c[1]); !errors.Is(err, ErrOverflow) {
+			t.Errorf("Mul(%d, %d): want ErrOverflow, got %v", c[0], c[1], err)
+		}
+	}
+}
+
+func TestLCM(t *testing.T) {
+	cases := []struct{ a, b, want int }{
+		{0, 5, 0},
+		{5, 0, 0},
+		{4, 6, 12},
+		{6, 4, 12},
+		{7, 7, 7},
+		{-4, 6, 12},
+		{3, 5, 15},
+	}
+	for _, c := range cases {
+		got, err := LCM(c.a, c.b)
+		if err != nil || got != c.want {
+			t.Errorf("LCM(%d, %d) = %d, %v; want %d, nil", c.a, c.b, got, err, c.want)
+		}
+	}
+	// Adversarial: two large coprime frequencies whose lcm is their
+	// product, which exceeds int64.
+	for _, c := range [][2]int{
+		{1000000007 * 3037000499, 1000000009}, // already huge × coprime
+		{math.MaxInt - 1, math.MaxInt},        // consecutive ⇒ coprime
+		{math.MinInt, 3},
+	} {
+		if _, err := LCM(c[0], c[1]); !errors.Is(err, ErrOverflow) {
+			t.Errorf("LCM(%d, %d): want ErrOverflow, got %v", c[0], c[1], err)
+		}
+	}
+}
+
+func TestShl(t *testing.T) {
+	if got, err := Shl(3, 4); err != nil || got != 48 {
+		t.Errorf("Shl(3, 4) = %d, %v", got, err)
+	}
+	for _, c := range [][2]int{
+		{1, 63},
+		{math.MaxInt, 1},
+		{-1, 1},
+		{1, -1},
+		{1, 64},
+	} {
+		if _, err := Shl(c[0], c[1]); !errors.Is(err, ErrOverflow) {
+			t.Errorf("Shl(%d, %d): want ErrOverflow, got %v", c[0], c[1], err)
+		}
+	}
+}

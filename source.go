@@ -47,7 +47,7 @@ type Sink interface {
 //
 //pinlint:hotpath
 func Pump(slots <-chan Slot, sink Sink) error {
-	for slot := range slots {
+	for slot := range slots { //pinlint:allow cancelflow — the slot stream is the cancellation signal: Serve closes it when its ctx is cancelled
 		if err := sink.Send(slot); err != nil {
 			return err
 		}
