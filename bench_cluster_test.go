@@ -104,9 +104,13 @@ func (l *loopReplay) Close() error {
 	return nil
 }
 
-// BenchmarkMultiTuner measures the retrieval loop: each iteration
-// requests one replicated file through the fetch plan and runs the
-// tuner until reconstruction, over three looping in-memory channels.
+// BenchmarkMultiTuner measures the steady-state retrieval loop: each
+// iteration requests one replicated file through the fetch plan, runs
+// the tuner until reconstruction, drains the result with RunInto and
+// hands its buffer back with Recycle. One tuner serves every
+// iteration — with the drain/recycle pair nothing accumulates, and the
+// loop is allocation-free once the pools are warm (the 0 allocs/op
+// gate CI holds through BENCH_dataplane.json).
 func BenchmarkMultiTuner(b *testing.B) {
 	c := benchCluster(b)
 	ctx, cancel := context.WithCancel(context.Background())
@@ -125,41 +129,32 @@ func BenchmarkMultiTuner(b *testing.B) {
 	}
 	cancel()
 	plan := c.FetchPlan()
-	dir := c.Directory()
-	newTuner := func() *pinbcast.MultiTuner {
-		mt, err := pinbcast.NewMultiTuner(srcs,
-			pinbcast.WithTunerDirectory(dir),
-			pinbcast.WithTunerHomes(plan),
-		)
-		if err != nil {
-			b.Fatal(err)
-		}
-		return mt
+	mt, err := pinbcast.NewMultiTuner(srcs,
+		pinbcast.WithTunerDirectory(c.Directory()),
+		pinbcast.WithTunerHomes(plan),
+	)
+	if err != nil {
+		b.Fatal(err)
 	}
-	// Results (and their reconstructed payloads) accumulate on a tuner
-	// by design; batch-recycle it so the benchmark reports steady-state
-	// retrieval cost, not history-copy cost.
-	const batch = 128
-	mt := newTuner()
-	completed := 0
+	defer mt.Close()
+	var out []pinbcast.ClusterResult
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if i%batch == 0 && i > 0 {
-			b.StopTimer()
-			completed += mt.Metrics().Completed
-			mt = newTuner()
-			b.StartTimer()
-		}
 		if err := mt.RequestVia("hot-a", 0, plan["hot-a"]); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := mt.Run(context.Background()); err != nil {
+		out, err = mt.RunInto(context.Background(), out[:0])
+		if err != nil {
 			b.Fatal(err)
 		}
+		if len(out) != 1 || !out[0].Completed {
+			b.Fatalf("iteration %d: unexpected results %+v", i, out)
+		}
+		mt.Recycle(out[0])
 	}
 	b.StopTimer()
-	completed += mt.Metrics().Completed
-	if completed != b.N {
-		b.Fatalf("completed %d of %d retrievals", completed, b.N)
+	if got := mt.Metrics().Completed; got != b.N {
+		b.Fatalf("completed %d of %d retrievals", got, b.N)
 	}
 }

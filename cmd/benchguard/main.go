@@ -1,0 +1,181 @@
+// Command benchguard compares a fresh benchmark series against a
+// committed baseline snapshot and fails on data-plane regressions:
+//
+//	go run ./cmd/benchguard -baseline bench/BENCH_dataplane.json BENCH_dataplane.json
+//
+// Both files hold `go test -json` output (the format CI uploads and
+// bench/ commits); plain `go test -bench` text is accepted too. For
+// every benchmark present in the baseline, the fresh run must
+//
+//   - reach at least (100 − max-regress)% of the baseline's MB/s, when
+//     the baseline reports throughput, and
+//   - not report more allocs/op than the baseline — an allocation
+//     sneaking into a zero-alloc loop is a correctness bug in the
+//     buffer-reuse contract, whatever the timing says.
+//
+// A baseline benchmark missing from the fresh run fails the guard: a
+// deleted or renamed benchmark must be re-baselined deliberately, not
+// silently unguarded. Extra fresh benchmarks are ignored (they get a
+// baseline when the snapshot is next regenerated).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result holds the guarded metrics of one benchmark line.
+type result struct {
+	mbps      float64
+	allocs    float64
+	hasMBps   bool
+	hasAllocs bool
+}
+
+// cpuSuffix strips the -GOMAXPROCS suffix so baselines survive runner
+// shape changes.
+var cpuSuffix = regexp.MustCompile(`-\d+$`)
+
+// parse reads one benchmark series, in `go test -json` or plain text
+// form, and returns the metrics per benchmark name. Duplicate names
+// (e.g. -count > 1) keep the last run.
+func parse(path string) (map[string]result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	// test2json splits benchmark result lines across Output events;
+	// reassemble the whole stream before scanning lines.
+	var text strings.Builder
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if !strings.HasPrefix(line, "{") {
+			// Plain `go test -bench` text.
+			text.WriteString(line)
+			text.WriteByte('\n')
+			continue
+		}
+		var ev struct {
+			Action string
+			Output string
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if ev.Action == "output" {
+			text.WriteString(ev.Output)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+
+	out := map[string]result{}
+	for _, line := range strings.Split(text.String(), "\n") {
+		fields := strings.Fields(line)
+		// A result line is "BenchmarkName iterations metric unit ...".
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") || len(fields[0]) == len("Benchmark") {
+			continue
+		}
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			continue
+		}
+		name := cpuSuffix.ReplaceAllString(fields[0], "")
+		var r result
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch fields[i+1] {
+			case "MB/s":
+				r.mbps, r.hasMBps = v, true
+			case "allocs/op":
+				r.allocs, r.hasAllocs = v, true
+			}
+		}
+		out[name] = r
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark results found", path)
+	}
+	return out, nil
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "", "committed benchmark snapshot to compare against")
+	maxRegress := flag.Float64("max-regress", 20, "largest tolerated MB/s drop, in percent")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: benchguard -baseline SNAPSHOT FRESH\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *baselinePath == "" || flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	baseline, err := parse(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(1)
+	}
+	fresh, err := parse(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(1)
+	}
+
+	names := make([]string, 0, len(baseline))
+	for name := range baseline {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := false
+	for _, name := range names {
+		base := baseline[name]
+		fr, ok := fresh[name]
+		if !ok {
+			fmt.Printf("FAIL %s: present in baseline but missing from the fresh run (re-baseline deliberately)\n", name)
+			failed = true
+			continue
+		}
+		if base.hasMBps && fr.hasMBps {
+			floor := base.mbps * (1 - *maxRegress/100)
+			if fr.mbps < floor {
+				fmt.Printf("FAIL %s: %.1f MB/s, below %.1f (baseline %.1f − %.0f%%)\n",
+					name, fr.mbps, floor, base.mbps, *maxRegress)
+				failed = true
+			} else {
+				fmt.Printf("ok   %s: %.1f MB/s (baseline %.1f)\n", name, fr.mbps, base.mbps)
+			}
+		}
+		if base.hasAllocs && fr.hasAllocs {
+			switch {
+			case fr.allocs > base.allocs:
+				fmt.Printf("FAIL %s: %.0f allocs/op, up from %.0f\n", name, fr.allocs, base.allocs)
+				failed = true
+			case !base.hasMBps:
+				fmt.Printf("ok   %s: %.0f allocs/op (baseline %.0f)\n", name, fr.allocs, base.allocs)
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -165,19 +165,28 @@
 // # Performance
 //
 // The data plane is allocation-free in steady state: the station serves
-// cached wire forms, the fan-out writer and the TCP receive path reuse
-// their frame buffers (TCPSource.Reuse opts the subscriber side in),
-// and the receiver decodes every block into a scratch buffer, cloning
-// only the blocks it keeps. Dispersal and reconstruction run through a
-// table-driven GF(2⁸) kernel over a systematic dispersal matrix — the
-// first m blocks of every file are verbatim source blocks, so encode
-// pays only for redundancy and a fault-free decode is a copy — at
-// hundreds of MB/s per core (see the Performance section of README.md
-// for the measured series and the buffer-ownership rules of the
-// streaming APIs). Benchmarks: BenchmarkDisperseMBps and
-// BenchmarkReconstructMBps in internal/ida, BenchmarkStationServe,
-// BenchmarkReceiverSlots and BenchmarkServeFanoutPipeline at the
-// package root; CI tracks them as the BENCH_dataplane.json artifact.
+// cached wire forms, the fan-out writer gathers queued frames into one
+// net.Buffers writev per flush, the TCP receive path reads through a
+// buffered layer and reuses its frame buffers (TCPSource.Reuse opts
+// the subscriber side in), and the receiver decodes every block into a
+// scratch buffer, cloning only the blocks it keeps. Retrieval loops
+// close the cycle with MultiTuner.RunInto/Recycle (or Receiver.Recycle)
+// so reconstruction output buffers circulate instead of accumulating.
+// Dispersal and reconstruction run through architecture-specific SIMD
+// GF(2⁸) kernels (amd64 SSSE3/AVX2 PSHUFB and arm64 NEON VTBL nibble
+// tables, selected at init; `-tags purego` keeps only the portable
+// word-wide path) over a systematic dispersal matrix — the first m
+// blocks of every file are verbatim source blocks, so encode pays only
+// for redundancy and a fault-free decode is a copy — at multiple GB/s
+// per core, with cross-file batch encoding (ida.Codec.DisperseBatch /
+// ReconstructBatch) amortizing coefficient-table loads across a whole
+// program's files (see the Performance section of README.md for the
+// measured series and the buffer-ownership rules of the streaming
+// APIs). Benchmarks: the MBps series in internal/ida,
+// BenchmarkStationServe, BenchmarkReceiverSlots, BenchmarkMultiTuner
+// and BenchmarkServeFanoutPipeline at the package root; CI tracks them
+// as the BENCH_dataplane.json artifact and cmd/benchguard fails the
+// build when they regress against the committed bench/ snapshot.
 // cmd/bdsim profiles a live pipeline via -cpuprofile/-memprofile.
 //
 // All failures wrap the package's typed errors — ErrBadSpec,

@@ -79,10 +79,13 @@ type Client struct {
 	// finish's reconstruction assembly slice, reused across files.
 	// freePending recycles cancelled request entries the same way —
 	// re-requesting under a multi-channel tuner is the steady state, not
-	// the exception.
+	// the exception. freeData holds reconstruction output buffers handed
+	// back through Recycle, so steady-state retrieval (request, finish,
+	// recycle, repeat) reconstructs into the same buffer every cycle.
 	freeBlocks   []*ida.Block
 	blockScratch []*ida.Block
 	freePending  []*pendingFile
+	freeData     [][]byte
 }
 
 type pendingFile struct {
@@ -327,19 +330,33 @@ func (c *Client) Observe(t int, raw []byte) Outcome {
 	}
 	p.blocks[blk.Seq] = blk
 	if len(p.blocks) >= int(blk.M) {
-		c.finish(name, p) //pinlint:allow hotpath — reconstruction, runs once per completed request
+		c.finish(name, p)
 		return Completed
 	}
 	return Stored
 }
 
-// finish reconstructs the file and records the result.
+// finish reconstructs the file and records the result. It runs once
+// per completed request but sits on the per-slot path, so everything it
+// touches is pooled: the assembly slice, the stored blocks it releases,
+// and the output buffer — a recycled one (Recycle) when available.
+//
+//pinlint:hotpath
 func (c *Client) finish(name string, p *pendingFile) {
 	blocks := c.blockScratch[:0]
 	for _, b := range p.blocks {
-		blocks = append(blocks, b)
+		blocks = append(blocks, b) //pinlint:allow hotpath — reuses blockScratch's capacity; grows only until the largest M seen
 	}
-	data, err := ida.ReconstructFile(blocks)
+	var buf []byte
+	if n := len(c.freeData) - 1; n >= 0 {
+		buf = c.freeData[n]
+		c.freeData = c.freeData[:n]
+	}
+	data, err := ida.ReconstructFileInto(blocks, buf)
+	if err != nil && buf != nil {
+		// The pooled buffer was not consumed; keep it for the next file.
+		c.freeData = append(c.freeData, buf)
+	}
 	latency := c.now - p.from + 1
 	res := Result{
 		File:       name,
@@ -380,6 +397,32 @@ func (c *Client) NoteCorruption(name string) {
 // Results returns completed request outcomes; files still pending at
 // the end of a simulation are reported by Flush.
 func (c *Client) Results() []Result { return c.results }
+
+// TakeResults appends every recorded result to dst, removes them from
+// the client, and returns dst. The client keeps its history slice's
+// capacity, so a caller that drains completions as they happen (a
+// multi-channel tuner does, once per reconstruction) leaves neither
+// side accumulating.
+//
+//pinlint:hotpath
+func (c *Client) TakeResults(dst []Result) []Result {
+	dst = append(dst, c.results...)
+	clear(c.results)
+	c.results = c.results[:0]
+	return dst
+}
+
+// Recycle hands a reconstructed file's Data buffer back to the client
+// for reuse by a future reconstruction. The caller must be finished
+// with the buffer — no Result it still holds may reference it.
+//
+//pinlint:hotpath
+func (c *Client) Recycle(buf []byte) {
+	if cap(buf) == 0 {
+		return
+	}
+	c.freeData = append(c.freeData, buf[:0])
+}
 
 // AddResult appends an externally produced result (the receiver layer
 // records cache hits through it).

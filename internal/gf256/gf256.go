@@ -20,6 +20,17 @@
 // one word-wide XOR instead of eight read-modify-write byte stores.
 // MulSlow remains the shift-and-reduce oracle the tables are verified
 // against.
+//
+// On amd64 and arm64 the bulk of each slice is handed to
+// architecture-specific SIMD kernels (kernels_amd64.go /
+// kernels_arm64.go): PSHUFB/TBL nibble-table lookups process 16–64
+// bytes per step using the split low/high-nibble product tables in
+// nibTables. The kernel is selected once at init by CPU-feature
+// detection (AVX2 → SSSE3 → generic on amd64; NEON is baseline on
+// arm64) and Kernel reports the choice. Building with the `purego` tag
+// removes the assembly entirely and keeps the word-wide pure-Go path,
+// which also serves as the cross-check reference for the SIMD parity
+// tests and fuzzers.
 package gf256
 
 import "encoding/binary"
@@ -45,6 +56,12 @@ var (
 	// MulTable call returns a pointer into this array, so per-coefficient
 	// tables are cached process-wide and never recomputed.
 	mulTables [256]Table
+
+	// nibTables[c] is the split nibble form of mulTables[c] the SIMD
+	// kernels consume: bytes 0–15 map a low nibble x to c·x, bytes 16–31
+	// map a high nibble x to c·(x<<4), so c·b = lo[b&15] ^ hi[b>>4]. 8 KiB
+	// total, built at init alongside the byte tables.
+	nibTables [256][32]byte
 )
 
 func init() {
@@ -65,6 +82,14 @@ func init() {
 		t := &mulTables[c]
 		for x := 1; x < 256; x++ {
 			t[x] = expTable[logC+int(logTable[x])]
+		}
+	}
+	for c := 0; c < 256; c++ {
+		t := &mulTables[c]
+		nt := &nibTables[c]
+		for x := 0; x < 16; x++ {
+			nt[x] = t[x]
+			nt[16+x] = t[x<<4]
 		}
 	}
 }
@@ -195,6 +220,19 @@ func MulSliceTable(t *Table, src, dst []byte) {
 
 //pinlint:hotpath
 func mulSliceTable(t *Table, src, dst []byte) {
+	k := archMulSlice(t, src, dst)
+	if k < len(src) {
+		mulSliceGeneric(t, src[k:], dst[k:])
+	}
+}
+
+// mulSliceGeneric is the portable word-wide kernel: eight products
+// assembled into a uint64 per store. It is the whole implementation
+// under the purego build tag and the tail handler behind the SIMD
+// kernels (which only consume multiples of their block size).
+//
+//pinlint:hotpath
+func mulSliceGeneric(t *Table, src, dst []byte) {
 	n := len(src) &^ 7
 	for i := 0; i < n; i += 8 {
 		s := src[i : i+8 : i+8]
@@ -239,6 +277,17 @@ func MulAddSliceTable(t *Table, src, dst []byte) {
 
 //pinlint:hotpath
 func mulAddSliceTable(t *Table, src, dst []byte) {
+	k := archMulAddSlice(t, src, dst)
+	if k < len(src) {
+		mulAddSliceGeneric(t, src[k:], dst[k:])
+	}
+}
+
+// mulAddSliceGeneric is the portable word-wide accumulate kernel; see
+// mulSliceGeneric.
+//
+//pinlint:hotpath
+func mulAddSliceGeneric(t *Table, src, dst []byte) {
 	n := len(src) &^ 7
 	for i := 0; i < n; i += 8 {
 		s := src[i : i+8 : i+8]
@@ -259,6 +308,17 @@ func XorSlice(src, dst []byte) {
 	if len(src) != len(dst) {
 		panic("gf256: XorSlice length mismatch")
 	}
+	k := archXorSlice(src, dst)
+	if k < len(src) {
+		xorSliceGeneric(src[k:], dst[k:])
+	}
+}
+
+// xorSliceGeneric is the portable eight-bytes-per-XOR loop; see
+// mulSliceGeneric.
+//
+//pinlint:hotpath
+func xorSliceGeneric(src, dst []byte) {
 	n := len(src) &^ 7
 	for i := 0; i < n; i += 8 {
 		binary.LittleEndian.PutUint64(dst[i:],
@@ -268,3 +328,9 @@ func XorSlice(src, dst []byte) {
 		dst[i] ^= src[i]
 	}
 }
+
+// Kernel reports which bulk-kernel implementation is active:
+// "avx2", "ssse3" (amd64), "neon" (arm64), or "purego" (the word-wide
+// pure-Go path, selected by the purego build tag, by an architecture
+// without assembly kernels, or by a CPU missing the required features).
+func Kernel() string { return kernelName }

@@ -1,0 +1,250 @@
+//go:build amd64 && !purego
+
+// GF(256) bulk kernels, amd64. All multiply kernels use the PSHUFB
+// nibble-table technique: tab points at a 32-byte table pair — 16
+// low-nibble products c·x, then 16 high-nibble products c·(x<<4) — and
+// each input byte b yields lo[b&15] ^ hi[b>>4] = c·b, 16 lanes at a
+// time (32 with AVX2). n is a positive multiple of the block size; the
+// Go wrappers mask slice lengths before calling, and the generic
+// word-wide loop handles the tail.
+
+#include "textflag.h"
+
+DATA nibMask<>+0x00(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA nibMask<>+0x08(SB)/8, $0x0f0f0f0f0f0f0f0f
+GLOBL nibMask<>(SB), RODATA|NOPTR, $16
+
+// func gfMulSSSE3(tab *[32]byte, src, dst *byte, n int)
+TEXT ·gfMulSSSE3(SB), NOSPLIT, $0-32
+	MOVQ  tab+0(FP), AX
+	MOVQ  src+8(FP), SI
+	MOVQ  dst+16(FP), DI
+	MOVQ  n+24(FP), CX
+	MOVOU (AX), X0           // low-nibble product table
+	MOVOU 16(AX), X1         // high-nibble product table
+	MOVOU nibMask<>(SB), X2  // 0x0f per lane
+
+ssse3MulLoop:
+	MOVOU  (SI), X3
+	MOVOU  X3, X4
+	PSRLW  $4, X4
+	PAND   X2, X3            // low nibbles
+	PAND   X2, X4            // high nibbles
+	MOVOU  X0, X5
+	PSHUFB X3, X5            // lo[b&15]
+	MOVOU  X1, X6
+	PSHUFB X4, X6            // hi[b>>4]
+	PXOR   X6, X5
+	MOVOU  X5, (DI)
+	ADDQ   $16, SI
+	ADDQ   $16, DI
+	SUBQ   $16, CX
+	JNZ    ssse3MulLoop
+	RET
+
+// func gfMulAddSSSE3(tab *[32]byte, src, dst *byte, n int)
+TEXT ·gfMulAddSSSE3(SB), NOSPLIT, $0-32
+	MOVQ  tab+0(FP), AX
+	MOVQ  src+8(FP), SI
+	MOVQ  dst+16(FP), DI
+	MOVQ  n+24(FP), CX
+	MOVOU (AX), X0
+	MOVOU 16(AX), X1
+	MOVOU nibMask<>(SB), X2
+
+ssse3MulAddLoop:
+	MOVOU  (SI), X3
+	MOVOU  X3, X4
+	PSRLW  $4, X4
+	PAND   X2, X3
+	PAND   X2, X4
+	MOVOU  X0, X5
+	PSHUFB X3, X5
+	MOVOU  X1, X6
+	PSHUFB X4, X6
+	PXOR   X6, X5
+	MOVOU  (DI), X7
+	PXOR   X7, X5            // accumulate into dst
+	MOVOU  X5, (DI)
+	ADDQ   $16, SI
+	ADDQ   $16, DI
+	SUBQ   $16, CX
+	JNZ    ssse3MulAddLoop
+	RET
+
+// func gfMulAVX2(tab *[32]byte, src, dst *byte, n int)
+TEXT ·gfMulAVX2(SB), NOSPLIT, $0-32
+	MOVQ           tab+0(FP), AX
+	MOVQ           src+8(FP), SI
+	MOVQ           dst+16(FP), DI
+	MOVQ           n+24(FP), CX
+	VBROADCASTI128 (AX), Y0
+	VBROADCASTI128 16(AX), Y1
+	VBROADCASTI128 nibMask<>(SB), Y2
+	CMPQ           CX, $64
+	JB             avx2MulTail
+
+avx2MulLoop64:
+	VMOVDQU (SI), Y3
+	VMOVDQU 32(SI), Y8
+	VPSRLW  $4, Y3, Y4
+	VPSRLW  $4, Y8, Y9
+	VPAND   Y2, Y3, Y3
+	VPAND   Y2, Y4, Y4
+	VPAND   Y2, Y8, Y8
+	VPAND   Y2, Y9, Y9
+	VPSHUFB Y3, Y0, Y5
+	VPSHUFB Y4, Y1, Y6
+	VPSHUFB Y8, Y0, Y10
+	VPSHUFB Y9, Y1, Y11
+	VPXOR   Y6, Y5, Y5
+	VPXOR   Y11, Y10, Y10
+	VMOVDQU Y5, (DI)
+	VMOVDQU Y10, 32(DI)
+	ADDQ    $64, SI
+	ADDQ    $64, DI
+	SUBQ    $64, CX
+	CMPQ    CX, $64
+	JAE     avx2MulLoop64
+
+avx2MulTail:
+	TESTQ CX, CX
+	JZ    avx2MulDone
+
+	// exactly one 32-byte block remains (n is a multiple of 32)
+	VMOVDQU (SI), Y3
+	VPSRLW  $4, Y3, Y4
+	VPAND   Y2, Y3, Y3
+	VPAND   Y2, Y4, Y4
+	VPSHUFB Y3, Y0, Y5
+	VPSHUFB Y4, Y1, Y6
+	VPXOR   Y6, Y5, Y5
+	VMOVDQU Y5, (DI)
+
+avx2MulDone:
+	VZEROUPPER
+	RET
+
+// func gfMulAddAVX2(tab *[32]byte, src, dst *byte, n int)
+TEXT ·gfMulAddAVX2(SB), NOSPLIT, $0-32
+	MOVQ           tab+0(FP), AX
+	MOVQ           src+8(FP), SI
+	MOVQ           dst+16(FP), DI
+	MOVQ           n+24(FP), CX
+	VBROADCASTI128 (AX), Y0
+	VBROADCASTI128 16(AX), Y1
+	VBROADCASTI128 nibMask<>(SB), Y2
+	CMPQ           CX, $64
+	JB             avx2MulAddTail
+
+avx2MulAddLoop64:
+	VMOVDQU (SI), Y3
+	VMOVDQU 32(SI), Y8
+	VPSRLW  $4, Y3, Y4
+	VPSRLW  $4, Y8, Y9
+	VPAND   Y2, Y3, Y3
+	VPAND   Y2, Y4, Y4
+	VPAND   Y2, Y8, Y8
+	VPAND   Y2, Y9, Y9
+	VPSHUFB Y3, Y0, Y5
+	VPSHUFB Y4, Y1, Y6
+	VPSHUFB Y8, Y0, Y10
+	VPSHUFB Y9, Y1, Y11
+	VPXOR   Y6, Y5, Y5
+	VPXOR   Y11, Y10, Y10
+	VPXOR   (DI), Y5, Y5
+	VPXOR   32(DI), Y10, Y10
+	VMOVDQU Y5, (DI)
+	VMOVDQU Y10, 32(DI)
+	ADDQ    $64, SI
+	ADDQ    $64, DI
+	SUBQ    $64, CX
+	CMPQ    CX, $64
+	JAE     avx2MulAddLoop64
+
+avx2MulAddTail:
+	TESTQ CX, CX
+	JZ    avx2MulAddDone
+
+	VMOVDQU (SI), Y3
+	VPSRLW  $4, Y3, Y4
+	VPAND   Y2, Y3, Y3
+	VPAND   Y2, Y4, Y4
+	VPSHUFB Y3, Y0, Y5
+	VPSHUFB Y4, Y1, Y6
+	VPXOR   Y6, Y5, Y5
+	VPXOR   (DI), Y5, Y5
+	VMOVDQU Y5, (DI)
+
+avx2MulAddDone:
+	VZEROUPPER
+	RET
+
+// func gfXorSSE2(src, dst *byte, n int)
+TEXT ·gfXorSSE2(SB), NOSPLIT, $0-24
+	MOVQ src+0(FP), SI
+	MOVQ dst+8(FP), DI
+	MOVQ n+16(FP), CX
+
+sse2XorLoop:
+	MOVOU (SI), X0
+	MOVOU (DI), X1
+	PXOR  X1, X0
+	MOVOU X0, (DI)
+	ADDQ  $16, SI
+	ADDQ  $16, DI
+	SUBQ  $16, CX
+	JNZ   sse2XorLoop
+	RET
+
+// func gfXorAVX2(src, dst *byte, n int)
+TEXT ·gfXorAVX2(SB), NOSPLIT, $0-24
+	MOVQ src+0(FP), SI
+	MOVQ dst+8(FP), DI
+	MOVQ n+16(FP), CX
+	CMPQ CX, $64
+	JB   avx2XorTail
+
+avx2XorLoop64:
+	VMOVDQU (SI), Y0
+	VMOVDQU 32(SI), Y1
+	VPXOR   (DI), Y0, Y0
+	VPXOR   32(DI), Y1, Y1
+	VMOVDQU Y0, (DI)
+	VMOVDQU Y1, 32(DI)
+	ADDQ    $64, SI
+	ADDQ    $64, DI
+	SUBQ    $64, CX
+	CMPQ    CX, $64
+	JAE     avx2XorLoop64
+
+avx2XorTail:
+	TESTQ CX, CX
+	JZ    avx2XorDone
+
+	VMOVDQU (SI), Y0
+	VPXOR   (DI), Y0, Y0
+	VMOVDQU Y0, (DI)
+
+avx2XorDone:
+	VZEROUPPER
+	RET
+
+// func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

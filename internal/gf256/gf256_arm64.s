@@ -1,0 +1,83 @@
+//go:build arm64 && !purego
+
+// GF(256) bulk kernels, arm64 NEON. The multiply kernels mirror the
+// amd64 PSHUFB technique with TBL: tab points at a 32-byte table pair
+// (16 low-nibble products, then 16 high-nibble products) and each byte
+// b yields lo[b&15] ^ hi[b>>4] = c·b, 32 lanes per iteration. n is a
+// positive multiple of 32; the Go wrappers mask slice lengths and the
+// generic word-wide loop handles the tail.
+
+#include "textflag.h"
+
+// func gfMulNEON(tab *[32]byte, src, dst *byte, n int)
+TEXT ·gfMulNEON(SB), NOSPLIT, $0-32
+	MOVD tab+0(FP), R0
+	MOVD src+8(FP), R1
+	MOVD dst+16(FP), R2
+	MOVD n+24(FP), R3
+	VLD1 (R0), [V0.B16, V1.B16] // V0 = low-nibble table, V1 = high-nibble table
+	MOVD $0x0f, R4
+	VDUP R4, V2.B16             // nibble mask
+
+neonMulLoop:
+	VLD1.P 32(R1), [V3.B16, V4.B16]
+	VUSHR  $4, V3.B16, V5.B16   // high nibbles
+	VUSHR  $4, V4.B16, V6.B16
+	VAND   V2.B16, V3.B16, V3.B16 // low nibbles
+	VAND   V2.B16, V4.B16, V4.B16
+	VTBL   V3.B16, [V0.B16], V7.B16
+	VTBL   V4.B16, [V0.B16], V8.B16
+	VTBL   V5.B16, [V1.B16], V9.B16
+	VTBL   V6.B16, [V1.B16], V10.B16
+	VEOR   V9.B16, V7.B16, V7.B16
+	VEOR   V10.B16, V8.B16, V8.B16
+	VST1.P [V7.B16, V8.B16], 32(R2)
+	SUBS   $32, R3, R3
+	BNE    neonMulLoop
+	RET
+
+// func gfMulAddNEON(tab *[32]byte, src, dst *byte, n int)
+TEXT ·gfMulAddNEON(SB), NOSPLIT, $0-32
+	MOVD tab+0(FP), R0
+	MOVD src+8(FP), R1
+	MOVD dst+16(FP), R2
+	MOVD n+24(FP), R3
+	VLD1 (R0), [V0.B16, V1.B16]
+	MOVD $0x0f, R4
+	VDUP R4, V2.B16
+
+neonMulAddLoop:
+	VLD1.P 32(R1), [V3.B16, V4.B16]
+	VUSHR  $4, V3.B16, V5.B16
+	VUSHR  $4, V4.B16, V6.B16
+	VAND   V2.B16, V3.B16, V3.B16
+	VAND   V2.B16, V4.B16, V4.B16
+	VTBL   V3.B16, [V0.B16], V7.B16
+	VTBL   V4.B16, [V0.B16], V8.B16
+	VTBL   V5.B16, [V1.B16], V9.B16
+	VTBL   V6.B16, [V1.B16], V10.B16
+	VEOR   V9.B16, V7.B16, V7.B16
+	VEOR   V10.B16, V8.B16, V8.B16
+	VLD1   (R2), [V11.B16, V12.B16]
+	VEOR   V11.B16, V7.B16, V7.B16 // accumulate into dst
+	VEOR   V12.B16, V8.B16, V8.B16
+	VST1.P [V7.B16, V8.B16], 32(R2)
+	SUBS   $32, R3, R3
+	BNE    neonMulAddLoop
+	RET
+
+// func gfXorNEON(src, dst *byte, n int)
+TEXT ·gfXorNEON(SB), NOSPLIT, $0-24
+	MOVD src+0(FP), R1
+	MOVD dst+8(FP), R2
+	MOVD n+16(FP), R3
+
+neonXorLoop:
+	VLD1.P 32(R1), [V0.B16, V1.B16]
+	VLD1   (R2), [V2.B16, V3.B16]
+	VEOR   V2.B16, V0.B16, V0.B16
+	VEOR   V3.B16, V1.B16, V1.B16
+	VST1.P [V0.B16, V1.B16], 32(R2)
+	SUBS   $32, R3, R3
+	BNE    neonXorLoop
+	RET

@@ -1,0 +1,197 @@
+//go:build amd64 && !purego
+
+package gf256
+
+// amd64 SIMD kernel selection. Both kernels use the PSHUFB
+// nibble-table technique: the 32-byte nibTables entry of a coefficient
+// is split into a low-nibble and a high-nibble 16-lane product table,
+// each slice byte is split into nibbles, and two parallel table
+// lookups plus one XOR yield 16 (SSSE3) or 32 (AVX2, two blocks per
+// loop) products per step. The choice is made once at init from CPUID:
+// AVX2 (with OS-enabled YMM state) beats SSSE3 beats the generic
+// word-wide loop; Kernel reports the winner.
+
+// Assembly kernels (gf256_amd64.s). n must be a positive multiple of
+// the kernel's block size (16 for SSSE3, 32 for AVX2, 16 for the SSE2
+// XOR); callers guarantee it by masking the slice length.
+//
+//pinlint:hotpath
+//go:noescape
+func gfMulSSSE3(tab *[32]byte, src, dst *byte, n int)
+
+//pinlint:hotpath
+//go:noescape
+func gfMulAddSSSE3(tab *[32]byte, src, dst *byte, n int)
+
+//pinlint:hotpath
+//go:noescape
+func gfMulAVX2(tab *[32]byte, src, dst *byte, n int)
+
+//pinlint:hotpath
+//go:noescape
+func gfMulAddAVX2(tab *[32]byte, src, dst *byte, n int)
+
+//pinlint:hotpath
+//go:noescape
+func gfXorSSE2(src, dst *byte, n int)
+
+//pinlint:hotpath
+//go:noescape
+func gfXorAVX2(src, dst *byte, n int)
+
+// cpuidex executes CPUID with the given leaf and subleaf.
+func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads extended control register 0 (XCR0).
+func xgetbv() (eax, edx uint32)
+
+// kernelLevel enumerates the amd64 kernel choices, best last.
+type kernelLevel int
+
+const (
+	kernelGeneric kernelLevel = iota
+	kernelSSSE3
+	kernelAVX2
+)
+
+var (
+	kernel     kernelLevel
+	kernelName string
+)
+
+func init() {
+	kernel, kernelName = detectKernel()
+}
+
+// detectKernel probes CPUID for SSSE3 and AVX2 (the latter only counts
+// when the OS has enabled YMM state via XSAVE, per the standard
+// OSXSAVE + XCR0 check).
+func detectKernel() (kernelLevel, string) {
+	maxLeaf, _, _, _ := cpuidex(0, 0)
+	if maxLeaf < 1 {
+		return kernelGeneric, "purego"
+	}
+	_, _, ecx1, _ := cpuidex(1, 0)
+	const (
+		ssse3Bit   = 1 << 9
+		osxsaveBit = 1 << 27
+		avxBit     = 1 << 28
+	)
+	hasSSSE3 := ecx1&ssse3Bit != 0
+	if maxLeaf >= 7 && ecx1&osxsaveBit != 0 && ecx1&avxBit != 0 {
+		xcr0, _ := xgetbv()
+		ymmEnabled := xcr0&0x6 == 0x6 // XMM and YMM state saved by the OS
+		_, ebx7, _, _ := cpuidex(7, 0)
+		const avx2Bit = 1 << 5
+		if ymmEnabled && ebx7&avx2Bit != 0 {
+			return kernelAVX2, "avx2"
+		}
+	}
+	if hasSSSE3 {
+		return kernelSSSE3, "ssse3"
+	}
+	return kernelGeneric, "purego"
+}
+
+// setKernelForTest forces a kernel level (when the CPU supports it) so
+// parity tests exercise every compiled path on one machine. It returns
+// false when the requested kernel is unavailable. Test-only.
+func setKernelForTest(name string) bool {
+	detected, _ := detectKernel()
+	var want kernelLevel
+	switch name {
+	case "avx2":
+		want = kernelAVX2
+	case "ssse3":
+		want = kernelSSSE3
+	case "purego":
+		want = kernelGeneric
+	default:
+		return false
+	}
+	if want > detected {
+		return false
+	}
+	kernel = want
+	if want == kernelGeneric {
+		kernelName = "purego"
+	} else {
+		kernelName = name
+	}
+	return true
+}
+
+// archMulSlice hands the aligned head of dst[i] = t[src[i]] to the
+// active SIMD kernel and returns how many bytes it consumed.
+//
+//pinlint:hotpath
+func archMulSlice(t *Table, src, dst []byte) int {
+	switch kernel {
+	case kernelAVX2:
+		n := len(src) &^ 31
+		if n == 0 {
+			return 0
+		}
+		gfMulAVX2(&nibTables[t[1]], &src[0], &dst[0], n)
+		return n
+	case kernelSSSE3:
+		n := len(src) &^ 15
+		if n == 0 {
+			return 0
+		}
+		gfMulSSSE3(&nibTables[t[1]], &src[0], &dst[0], n)
+		return n
+	}
+	return 0
+}
+
+// archMulAddSlice hands the aligned head of dst[i] ^= t[src[i]] to the
+// active SIMD kernel and returns how many bytes it consumed.
+//
+//pinlint:hotpath
+func archMulAddSlice(t *Table, src, dst []byte) int {
+	switch kernel {
+	case kernelAVX2:
+		n := len(src) &^ 31
+		if n == 0 {
+			return 0
+		}
+		gfMulAddAVX2(&nibTables[t[1]], &src[0], &dst[0], n)
+		return n
+	case kernelSSSE3:
+		n := len(src) &^ 15
+		if n == 0 {
+			return 0
+		}
+		gfMulAddSSSE3(&nibTables[t[1]], &src[0], &dst[0], n)
+		return n
+	}
+	return 0
+}
+
+// archXorSlice hands the aligned head of dst[i] ^= src[i] to the XOR
+// kernel (SSE2 under the ssse3 kernel, AVX2 under avx2) and returns
+// how many bytes it consumed. When the forced or detected kernel is
+// the generic one, the whole slice goes to the pure-Go loop so the
+// "purego" label always means exactly that.
+//
+//pinlint:hotpath
+func archXorSlice(src, dst []byte) int {
+	switch kernel {
+	case kernelAVX2:
+		n := len(src) &^ 31
+		if n == 0 {
+			return 0
+		}
+		gfXorAVX2(&src[0], &dst[0], n)
+		return n
+	case kernelSSSE3:
+		n := len(src) &^ 15
+		if n == 0 {
+			return 0
+		}
+		gfXorSSE2(&src[0], &dst[0], n)
+		return n
+	}
+	return 0
+}

@@ -1,0 +1,25 @@
+//go:build purego || (!amd64 && !arm64)
+
+package gf256
+
+// This file is the no-assembly configuration: the `purego` build tag
+// (or an architecture without SIMD kernels) compiles the bulk kernels
+// down to the portable word-wide loops alone. The arch hooks consume
+// nothing and hand every byte to the generic tails.
+
+// kernelName identifies the active kernel for Kernel and the
+// per-kernel benchmark series.
+var kernelName = "purego"
+
+// setKernelForTest matches the SIMD configurations' test hook; only
+// the pure-Go kernel exists here.
+func setKernelForTest(name string) bool { return name == "purego" }
+
+//pinlint:hotpath
+func archMulSlice(t *Table, src, dst []byte) int { return 0 }
+
+//pinlint:hotpath
+func archMulAddSlice(t *Table, src, dst []byte) int { return 0 }
+
+//pinlint:hotpath
+func archXorSlice(src, dst []byte) int { return 0 }

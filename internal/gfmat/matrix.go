@@ -65,6 +65,8 @@ func (m *Matrix) Rows() int { return m.rows }
 func (m *Matrix) Cols() int { return m.cols }
 
 // At returns the element at row i, column j.
+//
+//pinlint:hotpath
 func (m *Matrix) At(i, j int) byte { return m.data[i*m.cols+j] }
 
 // Set assigns the element at row i, column j.

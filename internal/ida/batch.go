@@ -1,0 +1,141 @@
+package ida
+
+import "pinbcast/internal/gf256"
+
+// Cross-file batch encoding. A broadcast server disperses every file of
+// the program through the same few codecs, and the per-file encode loop
+// walks the coefficient tables once per file: with F files at (m, n),
+// each of the (n−m)·m product tables is walked F separate times, and
+// per-call setup is paid F times. DisperseBatch inverts the loop nest —
+// coefficient outer, files inner — so one product table serves a run of
+// files before the next is loaded. The inversion is tiled: coefficient-
+// major order re-streams every file's blocks once per coefficient, so
+// it only wins while the tile's payloads fit in cache. Files are
+// greedily packed into tiles of at most batchTileBytes of payload
+// (small files batch wide, large files degrade to the per-file order
+// that keeps their own blocks resident).
+//
+// ReconstructBatch is the decode-side counterpart for callers that
+// recover many files at once (a client draining a cycle's worth of
+// completed files): one call amortizes the codec's pooled scratch and
+// keeps the §2.1 inverse cache line hot across files that arrived over
+// the same row subset.
+
+// batchTileBytes bounds the payload working set of one encode tile:
+// every source and redundant block of the tile's files should stay
+// resident while the coefficient loop re-streams them. Half a typical
+// per-core L2 leaves room for the destination write-allocate traffic.
+const batchTileBytes = 256 << 10
+
+// DisperseBatch disperses each files[f] into dst[f], reusing dst's
+// backing arrays exactly as DisperseInto does, and returns dst resliced
+// to len(files) entries of n payloads each. Files may have different
+// lengths; file f's payloads are shardLen(len(files[f])) bytes. The
+// batch is all-or-nothing: any empty file rejects the whole call.
+//
+// Ownership follows DisperseInto: the returned payloads belong to the
+// caller, alias neither the inputs nor each other, and the codec
+// retains no reference to them.
+//
+//pinlint:hotpath
+func (c *Codec) DisperseBatch(files [][]byte, dst [][][]byte) ([][][]byte, error) {
+	if cap(dst) >= len(files) {
+		dst = dst[:len(files)]
+	} else {
+		grown := make([][][]byte, len(files)) //pinlint:allow allocprove — first-cycle growth; steady state passes capacity back in
+		copy(grown, dst)
+		dst = grown
+	}
+	for _, data := range files {
+		if len(data) == 0 {
+			return nil, ErrEmptyFile
+		}
+	}
+	for lo := 0; lo < len(files); {
+		// Greedily extend the tile while its payloads fit the budget.
+		hi := lo + 1
+		tile := c.n * c.shardLen(len(files[lo]))
+		for hi < len(files) {
+			next := tile + c.n*c.shardLen(len(files[hi]))
+			if next > batchTileBytes {
+				break
+			}
+			tile = next
+			hi++
+		}
+		// Systematic prefixes first (payload j = source block j,
+		// zero-padded; as in DisperseInto the copies double as the
+		// encode sources, so partial tail blocks need no scratch), then
+		// the redundant rows coefficient-major across the tile, while
+		// the prefix blocks are still cache-resident.
+		for f := lo; f < hi; f++ {
+			data := files[f]
+			l := c.shardLen(len(data))
+			out := c.growPayloads(dst[f], l) //pinlint:allow allocprove — first-cycle growth; steady state passes capacity back in
+			dst[f] = out
+			for j := 0; j < c.m; j++ {
+				copySourceBlock(out[j], data, j, l)
+			}
+			for i := c.m; i < c.n; i++ {
+				clear(out[i])
+			}
+		}
+		for i, tabs := range c.encTables {
+			for j, tab := range tabs {
+				for f := lo; f < hi; f++ {
+					out := dst[f]
+					if j*len(out[0]) >= len(files[f]) {
+						continue // all-zero source block of a short file
+					}
+					gf256.MulAddSliceTable(tab, out[j], out[c.m+i])
+				}
+			}
+		}
+		lo = hi
+	}
+	return dst, nil
+}
+
+// A ReconstructJob is one file recovery within a ReconstructBatch call.
+// The caller fills Shards, DataLen and (optionally) a reusable Dst;
+// ReconstructBatch sets Out and Err per job.
+type ReconstructJob struct {
+	// Shards are the received blocks, at least m with distinct
+	// sequence numbers (extras are ignored, as in ReconstructInto).
+	Shards []Shard
+	// DataLen is the original file length in bytes.
+	DataLen int
+	// Dst is the caller-owned output buffer, grown when too small.
+	// After a successful job it is updated to the (possibly grown)
+	// backing buffer so the next batch reuses it.
+	Dst []byte
+	// Out is the recovered file — DataLen bytes aliasing Dst — or nil
+	// when Err is set.
+	Out []byte
+	// Err reports this job's failure without aborting the batch.
+	Err error
+}
+
+// ReconstructBatch runs every job, writing each result into the job's
+// caller-owned Dst. Jobs fail independently: one malformed job sets its
+// Err and the rest still decode. The returned error is the first job
+// error (nil when all succeed), so callers that treat any failure as
+// fatal need not scan the jobs.
+//
+//pinlint:hotpath
+func (c *Codec) ReconstructBatch(jobs []ReconstructJob) error {
+	var firstErr error
+	for i := range jobs {
+		j := &jobs[i]
+		j.Out, j.Err = c.ReconstructInto(j.Shards, j.DataLen, j.Dst)
+		if j.Err != nil {
+			j.Out = nil
+			if firstErr == nil {
+				firstErr = j.Err
+			}
+			continue
+		}
+		j.Dst = j.Out[:cap(j.Out)]
+	}
+	return firstErr
+}

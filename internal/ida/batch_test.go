@@ -1,0 +1,281 @@
+package ida
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// batchFiles builds a length-diverse file set: exact multiples of the
+// shard length, partial tails, single bytes, and files short enough
+// that trailing source blocks are entirely zero padding.
+func batchFiles(m int) [][]byte {
+	lengths := []int{1, m, m * 100, m*100 + 1, m*100 - 1, 3*100 + 7, 64 << 10}
+	files := make([][]byte, len(lengths))
+	for f, n := range lengths {
+		d := make([]byte, n)
+		for i := range d {
+			d[i] = byte(i*13 + f*7 + 1)
+		}
+		files[f] = d
+	}
+	return files
+}
+
+func TestDisperseBatchMatchesDisperse(t *testing.T) {
+	for _, mn := range [][2]int{{1, 1}, {1, 4}, {4, 4}, {8, 12}, {5, 13}} {
+		c, err := NewCodec(mn[0], mn[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		files := batchFiles(mn[0])
+		batch, err := c.DisperseBatch(files, nil)
+		if err != nil {
+			t.Fatalf("(%d,%d): DisperseBatch: %v", mn[0], mn[1], err)
+		}
+		if len(batch) != len(files) {
+			t.Fatalf("(%d,%d): got %d results, want %d", mn[0], mn[1], len(batch), len(files))
+		}
+		for f, data := range files {
+			want, err := c.Disperse(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(batch[f]) != len(want) {
+				t.Fatalf("(%d,%d) file %d: got %d payloads, want %d", mn[0], mn[1], f, len(batch[f]), len(want))
+			}
+			for seq := range want {
+				if !bytes.Equal(batch[f][seq], want[seq]) {
+					t.Fatalf("(%d,%d) file %d payload %d differs from Disperse", mn[0], mn[1], f, seq)
+				}
+			}
+		}
+	}
+}
+
+func TestDisperseBatchRoundTrip(t *testing.T) {
+	c, err := NewCodec(4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := batchFiles(4)
+	batch, err := c.DisperseBatch(files, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruct every file from redundant rows only — the hardest
+	// subset — via the batch decode path.
+	jobs := make([]ReconstructJob, len(files))
+	for f, data := range files {
+		shards := make([]Shard, 0, 4)
+		for s := 5; s < 9; s++ {
+			shards = append(shards, Shard{Seq: s, Data: batch[f][s]})
+		}
+		jobs[f] = ReconstructJob{Shards: shards, DataLen: len(data)}
+	}
+	if err := c.ReconstructBatch(jobs); err != nil {
+		t.Fatalf("ReconstructBatch: %v", err)
+	}
+	for f, data := range files {
+		if jobs[f].Err != nil {
+			t.Fatalf("file %d: %v", f, jobs[f].Err)
+		}
+		if !bytes.Equal(jobs[f].Out, data) {
+			t.Fatalf("file %d: round trip through batch encode/decode corrupted data", f)
+		}
+	}
+}
+
+func TestDisperseBatchReusesBuffers(t *testing.T) {
+	c, err := NewCodec(8, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := batchFiles(8)
+	dst, err := c.DisperseBatch(files, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if dst, err = c.DisperseBatch(files, dst); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state DisperseBatch allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+func TestReconstructBatchReportsPerJobErrors(t *testing.T) {
+	c, err := NewCodec(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := batchFiles(4)[5]
+	payloads, err := c.Disperse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := make([]Shard, 0, 4)
+	for s := 0; s < 4; s++ {
+		good = append(good, Shard{Seq: s, Data: payloads[s]})
+	}
+	jobs := []ReconstructJob{
+		{Shards: good, DataLen: len(data)},
+		{Shards: good[:2], DataLen: len(data)}, // too few shards
+		{Shards: good, DataLen: len(data)},
+	}
+	err = c.ReconstructBatch(jobs)
+	if !errors.Is(err, ErrNotEnough) {
+		t.Fatalf("batch error = %v, want ErrNotEnough", err)
+	}
+	if jobs[0].Err != nil || !bytes.Equal(jobs[0].Out, data) {
+		t.Fatalf("job 0 should succeed despite job 1 failing: err=%v", jobs[0].Err)
+	}
+	if !errors.Is(jobs[1].Err, ErrNotEnough) || jobs[1].Out != nil {
+		t.Fatalf("job 1: err=%v out=%v, want ErrNotEnough and nil", jobs[1].Err, jobs[1].Out)
+	}
+	if jobs[2].Err != nil || !bytes.Equal(jobs[2].Out, data) {
+		t.Fatalf("job 2 should succeed despite job 1 failing: err=%v", jobs[2].Err)
+	}
+}
+
+func TestReconstructBatchReusesDst(t *testing.T) {
+	c, err := NewCodec(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := batchFiles(4)[5]
+	payloads, err := c.Disperse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := make([]Shard, 0, 4)
+	for s := 2; s < 6; s++ {
+		shards = append(shards, Shard{Seq: s, Data: payloads[s]})
+	}
+	jobs := []ReconstructJob{{Shards: shards, DataLen: len(data)}}
+	if err := c.ReconstructBatch(jobs); err != nil {
+		t.Fatal(err)
+	}
+	first := &jobs[0].Dst[0]
+	if err := c.ReconstructBatch(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if &jobs[0].Dst[0] != first {
+		t.Fatal("second batch did not reuse the job's Dst buffer")
+	}
+	if !bytes.Equal(jobs[0].Out, data) {
+		t.Fatal("reused-buffer reconstruction corrupted data")
+	}
+}
+
+func TestDisperseBatchRejectsEmptyFile(t *testing.T) {
+	c, err := NewCodec(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.DisperseBatch([][]byte{{1, 2, 3}, {}}, nil)
+	if !errors.Is(err, ErrEmptyFile) {
+		t.Fatalf("err = %v, want ErrEmptyFile", err)
+	}
+	out, err := c.DisperseBatch(nil, nil)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty batch: out=%v err=%v, want empty and nil", out, err)
+	}
+}
+
+func TestReconstructFileIntoReuse(t *testing.T) {
+	data := batchFiles(4)[5]
+	blocks, err := DisperseFile(77, data, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReconstructFileInto(blocks[3:8], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("ReconstructFileInto corrupted data")
+	}
+	if raceEnabled {
+		t.Skip("sync.Pool drops puts at random under -race; allocation counts are meaningless")
+	}
+	buf := got[:cap(got)]
+	allocs := testing.AllocsPerRun(10, func() {
+		out, err := ReconstructFileInto(blocks[3:8], buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if &out[0] != &buf[0] {
+			t.Fatal("ReconstructFileInto did not reuse the buffer")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state ReconstructFileInto allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+// BenchmarkDisperseBatchMBps disperses sixteen 64 KiB files per op
+// through the tiled coefficient-major batch path at the dataplane
+// parameters (m=8, n=12), with all buffers reused. Its baseline is
+// BenchmarkDispersePerFileLoopMBps: same file set, per-file calls.
+func BenchmarkDisperseBatchMBps(b *testing.B) {
+	c, err := NewCodec(8, 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const nFiles = 16
+	files := make([][]byte, nFiles)
+	for f := range files {
+		d := dataplaneFile()
+		for i := range d {
+			d[i] ^= byte(f)
+		}
+		files[f] = d
+	}
+	var dst [][][]byte
+	logKernel(b)
+	b.SetBytes(nFiles * dataplaneSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst, err = c.DisperseBatch(files, dst)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDispersePerFileLoopMBps is the per-file baseline for
+// BenchmarkDisperseBatchMBps: the same sixteen files dispersed with
+// sixteen DisperseInto calls. The gap between the two series is the
+// batch path's cache-tiling win.
+func BenchmarkDispersePerFileLoopMBps(b *testing.B) {
+	c, err := NewCodec(8, 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const nFiles = 16
+	files := make([][]byte, nFiles)
+	for f := range files {
+		d := dataplaneFile()
+		for i := range d {
+			d[i] ^= byte(f)
+		}
+		files[f] = d
+	}
+	dst := make([][][]byte, nFiles)
+	logKernel(b)
+	b.SetBytes(nFiles * dataplaneSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for f, data := range files {
+			dst[f], err = c.DisperseInto(data, dst[f])
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -6,7 +6,11 @@ package ida
 // buffers through the *Into APIs, so both should report 0 allocs/op
 // once warm.
 
-import "testing"
+import (
+	"testing"
+
+	"pinbcast/internal/gf256"
+)
 
 // dataplaneSize is the file size the MB/s series is measured at.
 const dataplaneSize = 64 << 10
@@ -19,6 +23,14 @@ func dataplaneFile() []byte {
 	return d
 }
 
+// logKernel records which GF(256) kernel produced a benchmark's
+// numbers, so the BENCH_dataplane.json series names it next to the
+// MB/s figures (SIMD and purego results are not comparable).
+func logKernel(b *testing.B) {
+	b.Helper()
+	b.Logf("gf256 kernel: %s", gf256.Kernel())
+}
+
 // BenchmarkDisperseMBps measures steady-state dispersal of a 64 KiB
 // file at (m=8, n=12) — one latency class with r=4 fault tolerance —
 // with shard buffers reused across cycles.
@@ -29,6 +41,7 @@ func BenchmarkDisperseMBps(b *testing.B) {
 	}
 	data := dataplaneFile()
 	var shards [][]byte
+	logKernel(b)
 	b.SetBytes(dataplaneSize)
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -59,6 +72,7 @@ func BenchmarkReconstructMBps(b *testing.B) {
 		shards = append(shards, Shard{Seq: s, Data: payloads[s]})
 	}
 	var dst []byte
+	logKernel(b)
 	b.SetBytes(dataplaneSize)
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -88,6 +102,7 @@ func BenchmarkReconstructAllParityMBps(b *testing.B) {
 		shards = append(shards, Shard{Seq: s, Data: payloads[s]})
 	}
 	var dst []byte
+	logKernel(b)
 	b.SetBytes(dataplaneSize)
 	b.ReportAllocs()
 	b.ResetTimer()

@@ -1,0 +1,9 @@
+//go:build race
+
+package ida
+
+// raceEnabled reports whether the race detector is compiled in.
+// sync.Pool deliberately drops puts at random under the race detector
+// (to surface reuse races), so allocation-count assertions over pooled
+// paths are meaningless in that configuration and skip themselves.
+const raceEnabled = true

@@ -63,6 +63,11 @@ func FileIDs(prog *core.Program) ([]uint32, error) {
 // New disperses contents (keyed by file name) according to the
 // program's per-file (M, N) parameters. Every file of the program must
 // have contents.
+//
+// Files sharing dispersal parameters are batch-encoded: one
+// coefficient-major ida.DisperseBatch pass per distinct (M, N) pair
+// streams each product table through the cache once for the whole
+// group instead of once per file.
 func New(prog *core.Program, contents map[string][]byte) (*Server, error) {
 	ids, err := FileIDs(prog)
 	if err != nil {
@@ -75,42 +80,90 @@ func New(prog *core.Program, contents map[string][]byte) (*Server, error) {
 		blocks:   make([][]*ida.Block, len(prog.Files)),
 		payloads: make([][][]byte, len(prog.Files)),
 	}
+	// Group the file table by (M, N), preserving table order within and
+	// across groups so dispersal failures attribute deterministically.
+	type encodeGroup struct {
+		files []int    // indices into prog.Files
+		datas [][]byte // contents, parallel to files
+	}
+	groups := make(map[[2]int]*encodeGroup)
+	var order [][2]int
 	for i, info := range prog.Files {
 		s.names[ids[i]] = info.Name
 		data, ok := contents[info.Name]
 		if !ok {
 			return nil, fmt.Errorf("server: no contents for file %q: %w", info.Name, bcerr.ErrBadSpec)
 		}
-		// Disperse into the full width N and allocate all N for
-		// transmission (the program already encodes the redundancy
-		// decision through its slot counts).
-		blocks, err := ida.DisperseFile(ids[i], data, info.M, info.N)
+		if len(data) == 0 {
+			return nil, fmt.Errorf("server: dispersing %q: %w", info.Name, ida.ErrEmptyFile)
+		}
+		key := [2]int{info.M, info.N}
+		g := groups[key]
+		if g == nil {
+			g = new(encodeGroup)
+			groups[key] = g
+			order = append(order, key)
+		}
+		g.files = append(g.files, i)
+		g.datas = append(g.datas, data)
+	}
+	for _, key := range order {
+		g := groups[key]
+		codec, err := ida.Shared(key[0], key[1])
 		if err != nil {
-			return nil, fmt.Errorf("server: dispersing %q: %w", info.Name, err)
+			return nil, fmt.Errorf("server: dispersing %q: %w", prog.Files[g.files[0]].Name, err)
 		}
-		alloc, err := ida.Allocate(blocks, info.N)
+		payloads, err := codec.DisperseBatch(g.datas, nil)
 		if err != nil {
-			return nil, fmt.Errorf("server: allocating %q: %w", info.Name, err)
+			return nil, fmt.Errorf("server: dispersing %q: %w", prog.Files[g.files[0]].Name, err)
 		}
-		s.blocks[i] = alloc.Blocks()
-		// Blocks are immutable once allocated: marshal each one now so
-		// the broadcast loop reuses the wire form instead of allocating
-		// per slot. All wire forms of a file share one contiguous slab —
-		// one allocation per file instead of one per block, laid out in
-		// rotation order for the serve loop's access pattern.
-		s.payloads[i] = make([][]byte, len(s.blocks[i]))
-		slabLen := 0
-		for _, blk := range s.blocks[i] {
-			slabLen += blk.WireSize()
-		}
-		slab := make([]byte, 0, slabLen)
-		for seq, blk := range s.blocks[i] {
-			start := len(slab)
-			slab = blk.MarshalInto(slab)
-			s.payloads[i][seq] = slab[start:len(slab):len(slab)]
+		for k, i := range g.files {
+			if err := s.addFile(i, ids[i], prog.Files[i], g.datas[k], payloads[k]); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return s, nil
+}
+
+// addFile wraps one file's dispersed payloads into self-identifying
+// blocks, AIDA-allocates them across the full width N (the program
+// already encodes the redundancy decision through its slot counts), and
+// caches the marshaled wire forms.
+func (s *Server) addFile(i int, id uint32, info core.FileInfo, data []byte, payloads [][]byte) error {
+	blocks := make([]*ida.Block, len(payloads))
+	for seq, p := range payloads {
+		blocks[seq] = &ida.Block{
+			FileID:  id,
+			Seq:     uint16(seq),
+			M:       uint16(info.M),
+			N:       uint16(info.N),
+			Length:  uint32(len(data)),
+			Payload: p,
+		}
+	}
+	alloc, err := ida.Allocate(blocks, info.N)
+	if err != nil {
+		return fmt.Errorf("server: allocating %q: %w", info.Name, err)
+	}
+	s.blocks[i] = alloc.Blocks()
+	// Blocks are immutable once allocated: marshal each one now so
+	// the broadcast loop reuses the wire form instead of allocating
+	// per slot. All wire forms of a file share one contiguous slab —
+	// one allocation per file instead of one per block, laid out in
+	// rotation order for the serve loop's access pattern.
+	s.payloads[i] = make([][]byte, len(s.blocks[i]))
+	slabLen := 0
+	for _, blk := range s.blocks[i] {
+		slabLen += blk.WireSize()
+	}
+	slab := make([]byte, 0, slabLen)
+	for seq, blk := range s.blocks[i] {
+		start := len(slab)
+		slab = blk.MarshalInto(slab)
+		s.payloads[i][seq] = slab[start:len(slab):len(slab)]
+	}
+	return nil
 }
 
 // Program returns the broadcast program the server follows.

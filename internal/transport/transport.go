@@ -16,6 +16,7 @@
 package transport
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -228,28 +229,67 @@ func (f *Fanout) acceptLoop() {
 	}
 }
 
-// writeLoop drains one subscriber's queue onto its connection. The
-// frame buffer is reused across sends, so steady-state delivery of one
-// frame is a single allocation-free conn.Write (header and payload
-// coalesced — no separate header write, no per-frame buffer).
+// flushBatch is the most frames one writeLoop flush gathers into a
+// single writev. Each frame contributes at most two iovec entries
+// (header, payload), so a full flush stays well under the kernel's
+// IOV_MAX and, at typical shard sizes, fills a socket buffer's worth of
+// wire bytes per syscall.
+const flushBatch = 128
+
+// writeLoop drains one subscriber's queue onto its connection. A flush
+// gathers every already-queued frame (up to flushBatch) into one
+// net.Buffers writev: headers live in a reused arena, payloads are
+// passed by reference, and a subscriber keeping pace with the broadcast
+// costs one syscall per batch instead of one per frame. A lone frame
+// with an empty queue behind it still flushes immediately — gathering
+// never waits.
 //
 //pinlint:hotpath
 func (f *Fanout) writeLoop(s *subscriber) {
 	defer f.wg.Done()
-	var buf []byte
+	// The vec entries alias hdrs, so hdrs has fixed capacity and is
+	// never appended past it: a reallocation mid-gather would strand
+	// the earlier headers in the old backing array.
+	hdrs := make([]byte, 0, flushBatch*frameHeaderSize) //pinlint:allow allocprove — one header arena per subscriber connection
+	vec := make(net.Buffers, 0, 2*flushBatch)           //pinlint:allow allocprove — one gather vector per subscriber connection
+	wv := new(net.Buffers)                              //pinlint:allow hotpath allocprove — one scratch slice header per subscriber connection
 	for {
 		select {
 		case <-s.done:
 			return
 		case fr := <-s.ch:
-			var err error
-			buf, err = AppendFrame(buf[:0], fr.slot, fr.payload)
-			if err != nil {
-				f.drop(s) //pinlint:allow hotpath — eviction, at most once per subscriber
-				return
+			hdrs = hdrs[:0]
+			vec = vec[:0]
+			for {
+				if len(fr.payload) > MaxFramePayload {
+					f.drop(s) //pinlint:allow hotpath — eviction, at most once per subscriber
+					return
+				}
+				off := len(hdrs)
+				hdrs = append(hdrs, 0, 0, 0, 0, 0, 0, 0, 0)
+				h := hdrs[off : off+frameHeaderSize]
+				binary.BigEndian.PutUint32(h[0:], uint32(fr.slot))
+				binary.BigEndian.PutUint32(h[4:], uint32(len(fr.payload)))
+				vec = append(vec, h)
+				if len(fr.payload) > 0 {
+					vec = append(vec, fr.payload)
+				}
+				if len(hdrs) == cap(hdrs) {
+					break // arena full: flush this batch
+				}
+				select {
+				case fr = <-s.ch:
+					continue
+				default:
+				}
+				break // queue drained: flush what we have
 			}
 			s.conn.SetWriteDeadline(time.Now().Add(f.timeout))
-			if _, err := s.conn.Write(buf); err != nil {
+			// WriteTo consumes the slice it is called on (and trashes
+			// partially written entries), so it gets a scratch copy of
+			// the header; vec itself is rebuilt next flush either way.
+			*wv = vec
+			if _, err := wv.WriteTo(s.conn); err != nil {
 				f.drop(s) //pinlint:allow hotpath — eviction, at most once per subscriber
 				return
 			}
@@ -417,9 +457,17 @@ func (b *Broadcaster) Run(slots int, interval time.Duration) error {
 // accept loop.
 func (b *Broadcaster) Close() error { return b.f.Close() }
 
-// Receiver consumes a broadcast stream from a connection.
+// receiveBufferSize is the Receiver's read-ahead buffer: large enough
+// to swallow a full writev batch from the fan-out in one read syscall.
+const receiveBufferSize = 128 << 10
+
+// Receiver consumes a broadcast stream from a connection. Reads go
+// through a read-ahead buffer sized to the fan-out's writev batches, so
+// a receiver keeping pace pays one read syscall per batch of frames,
+// not two per frame (header, payload).
 type Receiver struct {
 	conn net.Conn
+	br   *bufio.Reader
 	buf  []byte // NextReuse's frame buffer
 }
 
@@ -432,7 +480,11 @@ func Dial(addr string) (*Receiver, error) {
 	// Seed the reuse buffer so even the first NextReuse frames (and
 	// idle frames before any payload sizes it) read their header
 	// without allocating.
-	return &Receiver{conn: conn, buf: make([]byte, 0, 512)}, nil
+	return &Receiver{
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, receiveBufferSize),
+		buf:  make([]byte, 0, 512),
+	}, nil
 }
 
 // Next returns the next slot frame. It blocks until a frame arrives,
@@ -444,7 +496,7 @@ func (r *Receiver) Next(deadline time.Duration) (slot int, payload []byte, err e
 	if deadline > 0 {
 		r.conn.SetReadDeadline(time.Now().Add(deadline))
 	}
-	return ReadFrame(r.conn)
+	return ReadFrame(r.br)
 }
 
 // NextReuse is Next with the payload read into the receiver's internal
@@ -457,7 +509,7 @@ func (r *Receiver) NextReuse(deadline time.Duration) (slot int, payload []byte, 
 	if deadline > 0 {
 		r.conn.SetReadDeadline(time.Now().Add(deadline))
 	}
-	slot, payload, err = ReadFrameInto(r.conn, r.buf)
+	slot, payload, err = ReadFrameInto(r.br, r.buf)
 	if cap(payload) > cap(r.buf) {
 		r.buf = payload[:cap(payload)]
 	}

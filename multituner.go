@@ -7,6 +7,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"pinbcast/internal/client"
 	"pinbcast/internal/cluster"
@@ -44,12 +45,29 @@ type MultiTuner struct {
 	chans []*mtChannel
 	det   *cluster.Detector
 
-	mu      sync.Mutex
-	reqs    map[string]*mtRequest
-	results []ClusterResult
-	hops    int
-	stop    chan struct{} // closed when every request has completed
+	mu        sync.Mutex
+	reqs      map[string]*mtRequest
+	results   []ClusterResult
+	hops      int
+	completed int  // finished requests by outcome; results itself may be
+	failed    int  // drained by RunInto, so Metrics counts separately
+	started   bool // the persistent channel drivers are running
+
+	// Run-lifecycle plumbing, kept allocation-free per Run: the channel
+	// drivers are persistent goroutines woken by a token per Run rather
+	// than spawned per Run (a spawn costs a closure allocation each),
+	// completion is a reusable cap-1 token channel rather than a remade
+	// close-once channel, and runDone is the flag drivers poll between
+	// slots to notice the run ending.
+	runWG    sync.WaitGroup
+	runDone  atomic.Bool
+	done     chan struct{} // cap 1: a token arrives when every request completes
+	shutdown chan struct{} // closed by Close: parked drivers exit
+	closing  sync.Once
 }
+
+// runToken wakes one channel's persistent driver for one Run.
+type runToken struct{ ctx context.Context }
 
 // mtChannel is one subscribed channel: its source, its protocol client,
 // its own reception-fault process, and its consumption counters. Each
@@ -60,7 +78,8 @@ type MultiTuner struct {
 // takes mtChannel.mu alone and re-enters through MultiTuner.mu only
 // after releasing it.
 type mtChannel struct {
-	src Source
+	src  Source
+	wake chan runToken // cap 1: one token per Run wakes the driver
 
 	mu       sync.Mutex
 	cli      *client.Client
@@ -70,6 +89,9 @@ type mtChannel struct {
 	// corruptBuf is the reusable scratch an injected fault garbles into,
 	// exactly as in Receiver: the shared wire payload is never mutated.
 	corruptBuf []byte
+	// resBuf is the scratch observe drains the client's completions
+	// into, so taking a result off the protocol layer does not allocate.
+	resBuf []client.Result
 }
 
 // mtRequest tracks one logical retrieval across channels.
@@ -204,12 +226,17 @@ func NewMultiTuner(srcs []Source, opts ...MultiTunerOption) (*MultiTuner, error)
 			len(cfg.faults), len(srcs), ErrBadSpec)
 	}
 	mt := &MultiTuner{
-		det:  cluster.NewDetector(len(srcs), cfg.threshold),
-		reqs: map[string]*mtRequest{},
-		stop: make(chan struct{}),
+		det:      cluster.NewDetector(len(srcs), cfg.threshold),
+		reqs:     map[string]*mtRequest{},
+		done:     make(chan struct{}, 1),
+		shutdown: make(chan struct{}),
 	}
 	for i, src := range srcs {
-		mc := &mtChannel{src: src, cli: client.NewSubscriber(cfg.names)}
+		mc := &mtChannel{
+			src:  src,
+			wake: make(chan runToken, 1),
+			cli:  client.NewSubscriber(cfg.names),
+		}
 		if cfg.faults != nil {
 			mc.fault = cfg.faults[i]
 		}
@@ -335,15 +362,22 @@ func (mt *MultiTuner) finishLocked(req *mtRequest, res ClusterResult) {
 	}
 	req.attached = req.attached[:0]
 	mt.results = append(mt.results, res)
+	if res.Completed {
+		mt.completed++
+	} else {
+		mt.failed++
+	}
 	for _, r := range mt.reqs {
 		if !r.done {
 			return
 		}
 	}
+	// Every request is done: end the run. Drivers notice the flag at the
+	// next slot boundary; the token releases the Run call itself.
+	mt.runDone.Store(true)
 	select {
-	case <-mt.stop:
+	case mt.done <- struct{}{}:
 	default:
-		close(mt.stop)
 	}
 }
 
@@ -354,47 +388,103 @@ func (mt *MultiTuner) finishLocked(req *mtRequest, res ClusterResult) {
 // cancelled context is the caller's deadline on the whole run, not a
 // pause. A tuner left running accepts further Request calls (including
 // re-requests of flushed files) and can be Run again.
+//
+// The first Run parks one persistent driver goroutine per channel;
+// they stay parked between runs and are released by Close. Retrieval
+// loops that must not accumulate history use RunInto instead — Run
+// returns a fresh copy of the tuner's full result history each call.
 func (mt *MultiTuner) Run(ctx context.Context) ([]ClusterResult, error) {
+	_, err := mt.run(ctx)
+	return mt.Results(), err
+}
+
+// RunInto is Run for steady-state retrieval loops: it appends only
+// this run's results to dst and removes them from the tuner's history,
+// so a caller that reuses dst (and hands Data buffers back with
+// Recycle) retrieves indefinitely without either side accumulating —
+// the loop is allocation-free once warm. Results of earlier un-drained
+// runs stay in Results.
+func (mt *MultiTuner) RunInto(ctx context.Context, dst []ClusterResult) ([]ClusterResult, error) {
+	mark, err := mt.run(ctx)
 	mt.mu.Lock()
+	tail := mt.results[mark:]
+	dst = append(dst, tail...)
+	clear(tail) // drop the history's Data references: the caller owns them now
+	mt.results = mt.results[:mark]
+	mt.mu.Unlock()
+	return dst, err
+}
+
+// Recycle hands a completed result's Data buffer back to the channel
+// that reconstructed it, to be reused by a future retrieval. Call it
+// only when finished with the result; neither it nor its Data may be
+// used afterwards.
+func (mt *MultiTuner) Recycle(res ClusterResult) {
+	if res.Channel < 0 || res.Channel >= len(mt.chans) || res.Data == nil {
+		return
+	}
+	mc := mt.chans[res.Channel]
+	mc.mu.Lock()
+	mc.cli.Recycle(res.Data)
+	mc.mu.Unlock()
+}
+
+// run drives one Run to completion and returns the index of the first
+// result it produced — the mark RunInto drains from.
+func (mt *MultiTuner) run(ctx context.Context) (int, error) {
+	mt.mu.Lock()
+	mark := len(mt.results)
 	pending := 0
 	for _, r := range mt.reqs {
 		if !r.done {
 			pending++
 		}
 	}
-	if pending > 0 {
-		// Re-arm the completion latch for this Run.
-		select {
-		case <-mt.stop:
-			mt.stop = make(chan struct{})
-		default:
+	if pending == 0 {
+		mt.mu.Unlock()
+		return mark, nil
+	}
+	mt.runDone.Store(false)
+	select {
+	case <-mt.done: // drop a stale token left by a previous run
+	default:
+	}
+	if !mt.started {
+		mt.started = true
+		for i := range mt.chans {
+			if mt.chans[i].src != nil {
+				go mt.driver(i)
+			}
 		}
 	}
-	stop := mt.stop
-	mt.mu.Unlock()
-	if pending == 0 {
-		return mt.Results(), nil
-	}
-
-	var wg sync.WaitGroup
+	woken := 0
 	for i := range mt.chans {
-		if !mt.det.Alive(i) || mt.chans[i].src == nil {
+		if mt.chans[i].src == nil || !mt.det.Alive(i) {
 			continue
 		}
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			mt.drive(ctx, i, stop)
-		}(i)
+		mt.runWG.Add(1)
+		select {
+		case mt.chans[i].wake <- runToken{ctx}:
+			woken++
+		default:
+			// Unreachable by construction — the previous run's token was
+			// consumed before its runWG.Wait returned — but never block
+			// holding mu on a full wake buffer.
+			mt.runWG.Done()
+		}
 	}
+	mt.mu.Unlock()
 
 	var runErr error
-	select {
-	case <-ctx.Done():
-		runErr = ctx.Err()
-	case <-stop:
+	if woken > 0 {
+		select {
+		case <-ctx.Done():
+			runErr = ctx.Err()
+			mt.runDone.Store(true)
+		case <-mt.done:
+		}
+		mt.runWG.Wait()
 	}
-	wg.Wait()
 
 	mt.mu.Lock()
 	for _, req := range mt.reqs {
@@ -406,16 +496,32 @@ func (mt *MultiTuner) Run(ctx context.Context) ([]ClusterResult, error) {
 		}
 	}
 	mt.mu.Unlock()
-	return mt.Results(), runErr
+	return mark, runErr
+}
+
+// driver is one channel's persistent drive goroutine: it parks between
+// runs and consumes its source for the duration of each. A dead
+// channel's driver simply stays parked — run never wakes it again.
+func (mt *MultiTuner) driver(ch int) {
+	for {
+		select {
+		case <-mt.shutdown:
+			return
+		case tok := <-mt.chans[ch].wake:
+			mt.drive(tok.ctx, ch)
+			mt.runWG.Done()
+		}
+	}
 }
 
 // drive consumes one channel's source until the run stops, the context
 // ends, or the channel dies.
-func (mt *MultiTuner) drive(ctx context.Context, ch int, stop <-chan struct{}) {
+func (mt *MultiTuner) drive(ctx context.Context, ch int) {
 	for {
-		select {
-		case <-stop:
+		if mt.runDone.Load() {
 			return
+		}
+		select {
 		case <-ctx.Done():
 			return
 		default:
@@ -466,8 +572,11 @@ func (mt *MultiTuner) observe(ch int, slot Slot) (died bool) {
 	var res Result
 	completed := false
 	if mc.cli.Observe(slot.T, payload) == client.Completed {
-		results := mc.cli.Results()
-		res = results[len(results)-1]
+		// Drain the completion off the protocol client (into reused
+		// scratch) rather than copying its whole history: the tuner's
+		// own bookkeeping is the single record of outcomes.
+		mc.resBuf = mc.cli.TakeResults(mc.resBuf[:0])
+		res = mc.resBuf[len(mc.resBuf)-1]
 		completed = true
 	}
 	mc.mu.Unlock()
@@ -519,6 +628,8 @@ func (mt *MultiTuner) channelDied(ch int) {
 }
 
 // Results returns the outcomes recorded so far, in completion order.
+// Outcomes drained by RunInto are not replayed here; Metrics counts
+// every outcome either way.
 func (mt *MultiTuner) Results() []ClusterResult {
 	mt.mu.Lock()
 	defer mt.mu.Unlock()
@@ -579,19 +690,15 @@ func (mt *MultiTuner) Metrics() MultiTunerMetrics {
 	}
 	mt.mu.Lock()
 	m.Hops = mt.hops
-	for _, res := range mt.results {
-		if res.Completed {
-			m.Completed++
-		} else {
-			m.Failed++
-		}
-	}
+	m.Completed = mt.completed
+	m.Failed = mt.failed
 	mt.mu.Unlock()
 	return m
 }
 
-// Close releases every source.
+// Close releases every source and the parked channel drivers.
 func (mt *MultiTuner) Close() error {
+	mt.closing.Do(func() { close(mt.shutdown) })
 	var first error
 	for _, mc := range mt.chans {
 		if mc.src == nil {

@@ -403,6 +403,19 @@ func (r *Receiver) Run(ctx context.Context) ([]Result, error) {
 // cache hits, and flushed failures).
 func (r *Receiver) Results() []Result { return r.cli.Results() }
 
+// Recycle hands a completed result's Data buffer back to the receiver
+// for reuse by a future reconstruction, making a request/retrieve/
+// recycle loop allocation-free once warm. Call it only when finished
+// with the result; neither it nor its Data may be used afterwards. A
+// caching receiver ignores the call — cached results share their
+// buffer with the cache, which still owns it.
+func (r *Receiver) Recycle(res Result) {
+	if r.cache != nil || res.FromCache || !res.Completed || res.Data == nil {
+		return
+	}
+	r.cli.Recycle(res.Data)
+}
+
 // Pending returns the names of files still being collected.
 func (r *Receiver) Pending() []string { return r.cli.Pending() }
 
