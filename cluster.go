@@ -9,6 +9,7 @@ import (
 
 	"pinbcast/internal/cluster"
 	"pinbcast/internal/core"
+	"pinbcast/internal/obs"
 )
 
 // Shard is a catalog-partitioning policy: it maps each file of a
@@ -238,7 +239,38 @@ func NewCluster(opts ...ClusterOption) (*Cluster, error) {
 		c.stations = append(c.stations, st)
 	}
 	c.stops = make([]context.CancelFunc, len(c.stations))
+	for i := range c.stations {
+		clChannelUp(i).Set(1)
+	}
+	c.updateGaugesLocked()
 	return c, nil
+}
+
+// updateGaugesLocked refreshes the cluster-plane gauges after any
+// membership or contract mutation: the remaining fault budget (channel
+// deaths the replication degree can still absorb) and the smallest
+// latency slack over in-force contracts. Caller holds mu, except the
+// constructor, whose cluster is not yet shared.
+//
+//pinlint:holds mu
+func (c *Cluster) updateGaugesLocked() {
+	budget := int64(c.replicas) - 1 - int64(len(c.dead))
+	if budget < 0 {
+		budget = 0
+	}
+	clFaultBudget.Set(budget)
+	headroom := int64(0)
+	first := true
+	for _, e := range c.contracts {
+		if e.revoked != nil {
+			continue
+		}
+		slack := int64(e.c.DegradedLatencySlots - e.c.WorstLatencySlots)
+		if first || slack < headroom {
+			headroom, first = slack, false
+		}
+	}
+	clHeadroom.Set(headroom)
 }
 
 // Channels returns K, the number of broadcast channels.
@@ -555,6 +587,7 @@ func (c *Cluster) Negotiate(x Txn) (ClusterContract, error) {
 		PerChannel:           perChannel,
 	}
 	c.contracts[x.Name] = &clusterContractEntry{txn: x, c: cc}
+	c.updateGaugesLocked()
 	return cc, nil
 }
 
@@ -602,6 +635,7 @@ func (c *Cluster) Release(name string) error {
 		}
 	}
 	delete(c.contracts, name)
+	c.updateGaugesLocked()
 	return nil
 }
 
@@ -646,6 +680,8 @@ func (c *Cluster) FailChannel(i int) (*FailoverReport, error) {
 		stop()
 		c.stops[i] = nil
 	}
+	clChannelUp(i).Set(0)
+	clFailovers.Inc()
 	rep := &FailoverReport{Channel: i, Readmitted: map[string]int{}}
 
 	// Orphans: files whose every carrier is now dead, hottest first so
@@ -680,6 +716,8 @@ func (c *Cluster) FailChannel(i int) (*FailoverReport, error) {
 				c.homes[f.Name] = append(c.homes[f.Name], ch)
 				rep.Readmitted[f.Name] = ch
 				admitted = true
+				clReadmitted.Inc()
+				traceRing.Emit(obs.FailoverReadmit, ch, FileID(f.Name), 0, uint64(i))
 				break
 			}
 		}
@@ -687,6 +725,7 @@ func (c *Cluster) FailChannel(i int) (*FailoverReport, error) {
 			c.lost[f.Name] = fmt.Errorf("pinbcast: file %q lost with channel %d (no survivor could admit it): %w",
 				f.Name, i, ErrDegraded)
 			rep.Lost = append(rep.Lost, f.Name)
+			clFilesLost.Inc()
 		}
 	}
 	sort.Strings(rep.Lost)
@@ -710,11 +749,14 @@ func (c *Cluster) FailChannel(i int) (*FailoverReport, error) {
 				}
 			}
 			rep.Revoked = append(rep.Revoked, name)
+			clRevoked.Inc()
+			traceRing.Emit(obs.ContractRevoked, i, 0, 0, 0)
 		} else {
 			c.reRegisterLocked(e)
 			rep.Kept = append(rep.Kept, name)
 		}
 	}
+	c.updateGaugesLocked()
 	return rep, nil
 }
 

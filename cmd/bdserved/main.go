@@ -1,0 +1,273 @@
+// Command bdserved is the ops-grade daemon mode of the broadcast disk:
+// a long-running Station (or K-channel Cluster) broadcasting a
+// synthetic catalog over TCP fan-out, with the observability plane
+// served over HTTP:
+//
+//	bdserved -config bdserved.toml
+//
+// The config file is a TOML subset (see LoadConfig); with no -config
+// every default applies and both listeners bind ephemeral loopback
+// ports. The daemon prints one line per listener at boot:
+//
+//	data channel 0 listening on 127.0.0.1:40001
+//	ops listening on http://127.0.0.1:40002
+//
+// The ops listener serves Prometheus text-format metrics at /metrics
+// (station, fan-out, cluster and receiver families), expvar at
+// /debug/vars (including the full registry snapshot under the
+// "pinbcast" var) and pprof at /debug/pprof.
+//
+// On SIGTERM or SIGINT the daemon drains gracefully: each channel
+// keeps broadcasting until its next data-cycle boundary — so every
+// in-flight window guarantee of the current program completes — then
+// the fan-outs close, the ops listener shuts down, and the process
+// exits 0. A channel that cannot reach its boundary within
+// drain.timeout is cut off hard.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"sync"
+	"syscall"
+	"time"
+
+	"pinbcast"
+	"pinbcast/internal/obs"
+	"pinbcast/internal/workload"
+)
+
+func main() {
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, os.Interrupt)
+	os.Exit(mainRun(os.Args[1:], sigs, os.Stdout, os.Stderr))
+}
+
+// mainRun holds main's body with its dependencies injected: the test
+// drives it with a fabricated signal channel and captured writers.
+func mainRun(args []string, sigs <-chan os.Signal, stdout, stderr io.Writer) int {
+	configPath := ""
+	switch {
+	case len(args) == 2 && args[0] == "-config":
+		configPath = args[1]
+	case len(args) == 0:
+	default:
+		fmt.Fprintln(stderr, "usage: bdserved [-config FILE]")
+		return 2
+	}
+	cfg := DefaultConfig()
+	if configPath != "" {
+		var err error
+		cfg, err = LoadConfig(configPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "bdserved:", err)
+			return 2
+		}
+	}
+	if err := serve(cfg, sigs, stdout); err != nil {
+		fmt.Fprintln(stderr, "bdserved:", err)
+		return 1
+	}
+	return 0
+}
+
+// channel is one broadcast channel's serving state: its slot stream,
+// its fan-out, and the data cycle its drain boundary snaps to.
+type channel struct {
+	slots <-chan pinbcast.Slot
+	fan   *pinbcast.Fanout
+	cycle int
+}
+
+// serve runs the daemon: build the catalog, bring up the data plane
+// (one Station or a Cluster of K), serve the ops endpoints, pump slots
+// until a signal arrives, then drain each channel to its data-cycle
+// boundary.
+func serve(cfg Config, sigs <-chan os.Signal, stdout io.Writer) error {
+	files := workload.Random(cfg.Files, 6, 10, 80, 0, cfg.Seed)
+	for i := range files {
+		files[i].Faults = cfg.Faults
+	}
+	contents := workload.Contents(files, cfg.BlockSize, cfg.Seed)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	chans, err := buildChannels(ctx, cfg, files, contents, stdout)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		for _, c := range chans {
+			c.fan.Close()
+		}
+	}()
+
+	ops, err := net.Listen("tcp", cfg.Ops)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: obs.NewOpsMux(obs.Default())}
+	opsDone := make(chan error, 1)
+	go func() { opsDone <- srv.Serve(ops) }()
+	fmt.Fprintf(stdout, "ops listening on http://%s\n", ops.Addr())
+
+	// Pump every channel until the drain completes; drain closes when a
+	// signal arrives, releasing each pump at its next cycle boundary.
+	drain := make(chan struct{})
+	var wg sync.WaitGroup
+	for i, c := range chans {
+		wg.Add(1)
+		go func(i int, c channel) {
+			defer wg.Done()
+			pumpChannel(ctx, i, c, drain)
+		}(i, c)
+	}
+
+	select {
+	case sig, ok := <-sigs:
+		if ok {
+			fmt.Fprintf(stdout, "received %v, draining to data-cycle boundaries (deadline %s)\n", sig, cfg.Timeout)
+		}
+	case <-ctx.Done():
+	}
+	close(drain)
+	// The drain deadline is a backstop: a channel that cannot reach its
+	// boundary in time is cut off by cancelling the serve context.
+	timer := time.AfterFunc(cfg.Timeout, cancel)
+	wg.Wait()
+	timer.Stop()
+	cancel()
+
+	shutdownCtx, shutdownCancel := context.WithTimeout(context.Background(), time.Second)
+	defer shutdownCancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		srv.Close()
+	}
+	if err := <-opsDone; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(stdout, "drained, exiting")
+	return nil
+}
+
+// buildChannels brings up the data plane: one Station when channels =
+// 1, a Cluster of K stations otherwise, each streaming through its own
+// TCP fan-out. The configured data address is the base: port 0 gives
+// every channel an ephemeral port, a fixed port p puts channel i on
+// p+i.
+func buildChannels(ctx context.Context, cfg Config, files []pinbcast.FileSpec, contents map[string][]byte, stdout io.Writer) ([]channel, error) {
+	listen := func(i int) (net.Listener, error) {
+		host, portStr, err := net.SplitHostPort(cfg.Data)
+		if err != nil {
+			return nil, fmt.Errorf("listen.data %q: %w", cfg.Data, err)
+		}
+		port, err := strconv.Atoi(portStr)
+		if err != nil {
+			return nil, fmt.Errorf("listen.data %q: %w", cfg.Data, err)
+		}
+		if port != 0 {
+			port += i
+		}
+		return net.Listen("tcp", net.JoinHostPort(host, strconv.Itoa(port)))
+	}
+
+	stOpts := []pinbcast.Option{
+		pinbcast.WithSlotBuffer(256),
+		pinbcast.WithSlotInterval(cfg.SlotInterval),
+	}
+	if cfg.Channels == 1 {
+		st, err := pinbcast.New(append([]pinbcast.Option{
+			pinbcast.WithFiles(files...),
+			pinbcast.WithContents(contents),
+		}, stOpts...)...)
+		if err != nil {
+			return nil, err
+		}
+		slots, err := st.Serve(ctx)
+		if err != nil {
+			return nil, err
+		}
+		ln, err := listen(0)
+		if err != nil {
+			return nil, err
+		}
+		fan := pinbcast.NewFanout(ln, 0)
+		fmt.Fprintf(stdout, "data channel 0 listening on %s (bandwidth %d, data cycle %d)\n",
+			fan.Addr(), st.Bandwidth(), st.Program().DataCycle())
+		return []channel{{slots: slots, fan: fan, cycle: st.Program().DataCycle()}}, nil
+	}
+
+	replicas := cfg.Replicas
+	if replicas > cfg.Channels {
+		replicas = cfg.Channels
+	}
+	cl, err := pinbcast.NewCluster(
+		pinbcast.WithChannels(cfg.Channels),
+		pinbcast.WithReplicas(replicas),
+		pinbcast.WithShardName(cfg.Shard),
+		pinbcast.WithClusterBandwidth(pinbcast.SufficientBandwidth(files)),
+		pinbcast.WithClusterFiles(files...),
+		pinbcast.WithClusterContents(contents),
+		pinbcast.WithStationOptions(stOpts...),
+	)
+	if err != nil {
+		return nil, err
+	}
+	streams, err := cl.Serve(ctx)
+	if err != nil {
+		return nil, err
+	}
+	chans := make([]channel, len(streams))
+	for i, slots := range streams {
+		ln, err := listen(i)
+		if err != nil {
+			for j := 0; j < i; j++ {
+				chans[j].fan.Close()
+			}
+			return nil, err
+		}
+		fan := pinbcast.NewFanout(ln, 0)
+		st := cl.Station(i)
+		fmt.Fprintf(stdout, "data channel %d listening on %s (bandwidth %d, data cycle %d)\n",
+			i, fan.Addr(), st.Bandwidth(), st.Program().DataCycle())
+		chans[i] = channel{slots: slots, fan: fan, cycle: st.Program().DataCycle()}
+	}
+	return chans, nil
+}
+
+// pumpChannel streams one channel's slots into its fan-out until the
+// drain closes and the next data-cycle boundary is reached (or the
+// serve context is cancelled — the drain deadline's hard cutoff). The
+// boundary rule is the same one online admission lands on: stopping at
+// slot T with (T+1) divisible by the data cycle means every window
+// guarantee of the running program completed on air.
+func pumpChannel(ctx context.Context, i int, c channel, drain <-chan struct{}) {
+	draining := false
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-drain:
+			draining = true
+			drain = nil // a closed channel would spin the select
+		case slot, ok := <-c.slots:
+			if !ok {
+				return
+			}
+			if err := c.fan.Send(slot); err != nil {
+				return
+			}
+			if draining && c.cycle > 0 && (slot.T+1)%c.cycle == 0 {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestLoadConfig(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bdserved.toml")
+	if err := os.WriteFile(path, []byte(`
+# daemon config
+[station]
+files = 6
+seed = 42            # trailing comment
+slot_interval = "1ms"
+channels = 2
+replicas = 1
+shard = "hash"
+
+[listen]
+data = "127.0.0.1:0"
+ops = "0.0.0.0:9091"
+
+[drain]
+timeout = "3s"
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := LoadConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Files != 6 || cfg.Seed != 42 || cfg.SlotInterval != time.Millisecond ||
+		cfg.Channels != 2 || cfg.Replicas != 1 || cfg.Shard != "hash" ||
+		cfg.Ops != "0.0.0.0:9091" || cfg.Timeout != 3*time.Second {
+		t.Fatalf("parsed config = %+v", cfg)
+	}
+	if cfg.Faults != 1 || cfg.BlockSize != 128 {
+		t.Fatalf("unset keys lost their defaults: %+v", cfg)
+	}
+}
+
+func TestLoadConfigErrors(t *testing.T) {
+	for name, content := range map[string]string{
+		"unknown section": "[nope]\n",
+		"unknown key":     "[station]\nfile_count = 3\n",
+		"bad value":       "[station]\nfiles = many\n",
+		"bare value":      "[listen]\ndata = 127.0.0.1:0\n",
+		"bad range":       "[station]\nfiles = 0\n",
+		"bad replicas":    "[station]\nchannels = 2\nreplicas = 3\n",
+	} {
+		path := filepath.Join(t.TempDir(), "bad.toml")
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadConfig(path); err == nil {
+			t.Errorf("%s: LoadConfig accepted %q", name, content)
+		}
+	}
+}
+
+func TestMainRunUsage(t *testing.T) {
+	var errBuf bytes.Buffer
+	if code := mainRun([]string{"-bogus"}, nil, io.Discard, &errBuf); code != 2 {
+		t.Fatalf("bad flags exited %d, want 2", code)
+	}
+	if code := mainRun([]string{"-config", "/does/not/exist.toml"}, nil, io.Discard, &errBuf); code != 2 {
+		t.Fatalf("missing config exited %d, want 2", code)
+	}
+}
+
+// scrape fetches one /metrics exposition and returns the value of the
+// named unlabeled sample, or -1 when absent.
+func scrape(t *testing.T, base, metric string) float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		if rest, ok := strings.CutPrefix(line, metric+" "); ok {
+			v, err := strconv.ParseFloat(rest, 64)
+			if err != nil {
+				t.Fatalf("sample %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	return -1
+}
+
+// TestDaemonSmoke is the in-process version of the CI smoke job: boot
+// a small single-station daemon on ephemeral ports, watch
+// pin_station_slots_total advance across two scrapes, check the
+// /debug endpoints answer, then SIGTERM it and require a clean exit
+// within the drain deadline.
+func TestDaemonSmoke(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Files = 4
+	cfg.SlotInterval = 100 * time.Microsecond
+	cfg.Timeout = 10 * time.Second
+
+	sigs := make(chan os.Signal, 1)
+	outR, outW := io.Pipe()
+	exited := make(chan error, 1)
+	go func() {
+		err := serve(cfg, sigs, outW)
+		outW.Close()
+		exited <- err
+	}()
+
+	opsRe := regexp.MustCompile(`ops listening on (http://\S+)`)
+	dataRe := regexp.MustCompile(`data channel 0 listening on (\S+)`)
+	opsURL, dataAddr := "", ""
+	lines := make(chan string, 16)
+	go func() {
+		buf := make([]byte, 4096)
+		acc := ""
+		for {
+			n, err := outR.Read(buf)
+			acc += string(buf[:n])
+			for {
+				line, rest, ok := strings.Cut(acc, "\n")
+				if !ok {
+					break
+				}
+				lines <- line
+				acc = rest
+			}
+			if err != nil {
+				close(lines)
+				return
+			}
+		}
+	}()
+	deadline := time.After(15 * time.Second)
+	for opsURL == "" || dataAddr == "" {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				t.Fatal("daemon exited before printing its listeners")
+			}
+			if m := opsRe.FindStringSubmatch(line); m != nil {
+				opsURL = m[1]
+			}
+			if m := dataRe.FindStringSubmatch(line); m != nil {
+				dataAddr = m[1]
+			}
+		case <-deadline:
+			t.Fatal("daemon did not print its listeners in time")
+		}
+	}
+	_ = dataAddr
+
+	// The station serves consumer-paced slots through the fan-out, so
+	// the counter advances even with no subscriber connected.
+	first := -1.0
+	for i := 0; i < 100 && first <= 0; i++ {
+		first = scrape(t, opsURL, "pin_station_slots_total")
+		time.Sleep(20 * time.Millisecond)
+	}
+	if first <= 0 {
+		t.Fatal("pin_station_slots_total never advanced past 0")
+	}
+	second := first
+	for i := 0; i < 100 && second <= first; i++ {
+		time.Sleep(20 * time.Millisecond)
+		second = scrape(t, opsURL, "pin_station_slots_total")
+	}
+	if second <= first {
+		t.Fatalf("pin_station_slots_total stalled at %v", first)
+	}
+
+	// All four planes' families are present in one scrape.
+	resp, err := http.Get(opsURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, family := range []string{
+		"pin_station_slots_total", "pin_fanout_frames_total",
+		"pin_cluster_fault_budget_remaining", "pin_tuner_hops_total",
+		"pin_receiver_slots_total",
+	} {
+		if !strings.Contains(string(body), "# TYPE "+family+" ") {
+			t.Errorf("/metrics missing family %s", family)
+		}
+	}
+
+	for _, path := range []string{"/debug/vars", "/debug/pprof/"} {
+		resp, err := http.Get(opsURL + path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Errorf("%s answered %d", path, resp.StatusCode)
+		}
+	}
+
+	sigs <- syscall.SIGTERM
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Fatalf("daemon failed after SIGTERM: %v", err)
+		}
+	case <-time.After(cfg.Timeout + 5*time.Second):
+		t.Fatal("daemon did not drain within the deadline")
+	}
+}

@@ -33,10 +33,16 @@
 // -cpuprofile and -memprofile write pprof profiles of the selected run
 // mode for field profiling of the data plane (`go tool pprof` reads
 // them); the heap profile is captured after the run completes.
+//
+// -metrics-out writes a JSON snapshot of the metrics registry after
+// the run, and -trace-out drains the slot-event trace ring to a JSONL
+// file (one event per line); both apply to the live -fanout and
+// -cluster modes only.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -50,6 +56,7 @@ import (
 	"time"
 
 	"pinbcast"
+	"pinbcast/internal/obs"
 	"pinbcast/internal/workload"
 )
 
@@ -78,6 +85,8 @@ func mainRun() int {
 			strings.Join(pinbcast.LayoutNames(), ", ")+")")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile taken after the run to this file")
+	metricsOut := flag.String("metrics-out", "", "write a JSON snapshot of the metrics registry to this file after the run")
+	traceOut := flag.String("trace-out", "", "write the slot-event trace ring as JSONL to this file after the run")
 	flag.Parse()
 
 	set := map[string]bool{}
@@ -157,7 +166,73 @@ func mainRun() int {
 		fmt.Fprintln(os.Stderr, "bdsim:", err)
 		return 1
 	}
+	if *metricsOut != "" {
+		if err := writeMetricsOut(*metricsOut); err != nil {
+			fmt.Fprintln(os.Stderr, "bdsim:", err)
+			return 1
+		}
+	}
+	if *traceOut != "" {
+		if err := writeTraceOut(*traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "bdsim:", err)
+			return 1
+		}
+	}
 	return 0
+}
+
+// writeMetricsOut dumps the metrics registry as indented JSON — the
+// machine-readable twin of the /metrics exposition, for post-run
+// analysis of a simulation without standing up an ops listener.
+func writeMetricsOut(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.Default().WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// traceLine is the JSONL schema of one slot-trace event: kind carries
+// the wire name ("slot_served", "channel_hop", …), channel is -1 for
+// single-channel planes, and aux is kind-specific (generation id,
+// writev batch size, failed channel, …).
+type traceLine struct {
+	Seq     uint64 `json:"seq"`
+	Kind    string `json:"kind"`
+	Channel int    `json:"channel"`
+	File    uint32 `json:"file"`
+	T       uint64 `json:"t"`
+	Aux     uint64 `json:"aux"`
+}
+
+// writeTraceOut drains the slot-event trace ring to a JSONL file, one
+// event per line in emission order. The ring overwrites its oldest
+// entries, so a long run yields the trailing window, not the full
+// history; Seq gaps mark the overwritten span.
+func writeTraceOut(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	for _, ev := range obs.Trace().Drain(nil) {
+		if err := enc.Encode(traceLine{
+			Seq:     ev.Seq,
+			Kind:    ev.Kind.String(),
+			Channel: ev.Channel,
+			File:    ev.File,
+			T:       ev.T,
+			Aux:     ev.Aux,
+		}); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
 }
 
 // validateFlags rejects flag combinations the selected mode would
@@ -201,6 +276,11 @@ func validateFlags(set map[string]bool, stream int, fanout bool, clusterK, repli
 		"replicas": {"cluster"},
 		"shard":    {"cluster"},
 		"kill":     {"cluster"},
+		// The observability outputs snapshot the live data plane; the pure
+		// simulation and slot-printing modes never touch it, so asking for
+		// them there would write empty files.
+		"metrics-out": {"fanout", "cluster"},
+		"trace-out":   {"fanout", "cluster"},
 	}
 	for name, modes := range allowed {
 		if !set[name] {

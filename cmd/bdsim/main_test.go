@@ -1,6 +1,10 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"pinbcast"
@@ -96,5 +100,82 @@ func TestValidateFlags(t *testing.T) {
 	}
 	if msg := validateFlags(map[string]bool{"kill": true}, 0, false, 0, 2, 1, 8, 25, "balanced"); msg == "" {
 		t.Error("-kill without -cluster accepted")
+	}
+	// The observability outputs only make sense against the live planes.
+	if msg := validateFlags(map[string]bool{"metrics-out": true}, 0, false, 0, 2, -1, 8, 25, "balanced"); msg == "" {
+		t.Error("-metrics-out in sim mode accepted")
+	}
+	if msg := validateFlags(map[string]bool{"trace-out": true}, 64, false, 0, 2, -1, 8, 25, "balanced"); msg == "" {
+		t.Error("-trace-out with -stream accepted")
+	}
+	if msg := validateFlags(map[string]bool{"trace-out": true, "metrics-out": true}, 0, true, 0, 2, -1, 8, 25, "balanced"); msg != "" {
+		t.Errorf("-trace-out/-metrics-out with -fanout rejected: %s", msg)
+	}
+}
+
+// TestObservabilityOutputs runs the live fan-out pipeline and checks
+// that the post-run dumps land on disk well-formed: the metrics file
+// as a JSON registry snapshot carrying the station family, the trace
+// file as one JSON object per line with wire-named kinds.
+func TestObservabilityOutputs(t *testing.T) {
+	if err := runFanout(3, 2, 0, 1, 11); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	metricsPath := filepath.Join(dir, "metrics.json")
+	tracePath := filepath.Join(dir, "trace.jsonl")
+	if err := writeMetricsOut(metricsPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeTraceOut(tracePath); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fams []struct {
+		Name string `json:"name"`
+		Type string `json:"type"`
+	}
+	if err := json.Unmarshal(raw, &fams); err != nil {
+		t.Fatalf("metrics-out is not a JSON family list: %v", err)
+	}
+	found := false
+	for _, f := range fams {
+		if f.Name == "pin_station_slots_total" && f.Type == "counter" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("metrics-out missing pin_station_slots_total")
+	}
+
+	raw, err = os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("trace-out is empty after a live fan-out run")
+	}
+	kinds := map[string]int{}
+	var prevSeq uint64
+	for i, line := range lines {
+		var ev traceLine
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("trace-out line %d: %v", i+1, err)
+		}
+		if i > 0 && ev.Seq <= prevSeq {
+			t.Fatalf("trace-out seq not increasing at line %d: %d after %d", i+1, ev.Seq, prevSeq)
+		}
+		prevSeq = ev.Seq
+		kinds[ev.Kind]++
+	}
+	for _, want := range []string{"slot_served", "frame_flushed"} {
+		if kinds[want] == 0 {
+			t.Errorf("trace-out has no %q events (kinds: %v)", want, kinds)
+		}
 	}
 }

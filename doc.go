@@ -189,6 +189,32 @@
 // build when they regress against the committed bench/ snapshot.
 // cmd/bdsim profiles a live pipeline via -cpuprofile/-memprofile.
 //
+// # Observability
+//
+// Every plane reports into a zero-allocation observability layer
+// (internal/obs): a typed registry of atomic counters, gauges and
+// power-of-two latency histograms — Inc/Observe are //pinlint:hotpath,
+// proven allocation-free, and padded against false sharing — plus a
+// lock-free overwrite-oldest ring of slot trace events (slot served,
+// frame flushed, block corrupted, miss detected, channel hop, failover
+// re-admit, contract revoked). The station, fan-out, cluster, receiver
+// and multi-tuner families (pin_station_*, pin_fanout_*, pin_cluster_*,
+// pin_receiver_*, pin_tuner_*) are registered by this package and
+// maintained by the instrumented hot loops at no per-slot cost.
+//
+// Three consumers ship with the module. cmd/bdserved is the daemon
+// mode: a Station or Cluster broadcasting over TCP fan-out with the
+// registry served in Prometheus text format at /metrics (a hand-rolled,
+// golden-tested encoder — no client library), expvar at /debug/vars and
+// pprof at /debug/pprof, and a SIGTERM drain that stops each channel at
+// its next data-cycle boundary. cmd/bdsim dumps the same state post-run
+// with -metrics-out (JSON registry snapshot) and -trace-out (JSONL
+// event log). In-process, Receiver.Metrics and MultiTuner.Metrics
+// return the stable per-instance snapshots (ReceiverMetrics,
+// MultiTunerMetrics) the CLIs tabulate — per-instance counts for one
+// receiver's outcome, the registry for whole-process rates. See the
+// README's Observability section for the metric and trace schemas.
+//
 // All failures wrap the package's typed errors — ErrBadSpec,
 // ErrInfeasible, ErrBandwidth, ErrAdmission — so callers classify them
 // with errors.Is regardless of the originating layer.
@@ -213,6 +239,7 @@
 //	internal/transport framed TCP fan-out
 //	internal/cluster   shard policies, replica planning, channel health
 //	internal/sim       end-to-end simulation
+//	internal/obs       metrics registry, trace ring, exposition
 //	internal/rtdb      real-time database layer
 //	internal/workload  scenario generators
 //	internal/exp       paper table/figure reproduction

@@ -25,7 +25,19 @@ import (
 	"sync"
 	"time"
 
+	"pinbcast/internal/obs"
 	"pinbcast/internal/server"
+)
+
+// Fan-out plane instruments, registered once against the process-wide
+// registry; the hot paths below touch them with single atomic ops.
+var (
+	fanoutFrames      = obs.Default().Counter("pin_fanout_frames_total", "Slot frames accepted by Fanout.Send.")
+	fanoutSubscribers = obs.Default().Gauge("pin_fanout_subscribers", "Currently connected fan-out subscribers.")
+	fanoutEvictions   = obs.Default().Counter("pin_fanout_evictions_total", "Subscribers evicted for stalling, erroring, or going away.")
+	fanoutBatchFrames = obs.Default().Histogram("pin_fanout_writev_batch_frames", "Frames gathered into each writev flush.")
+	fanoutQueueDepth  = obs.Default().Gauge("pin_fanout_queue_depth", "Deepest subscriber queue observed by the last Send.")
+	fanoutTrace       = obs.Trace()
 )
 
 // frameHeaderSize is the per-frame header: slot(4) + length(4).
@@ -223,6 +235,7 @@ func (f *Fanout) acceptLoop() {
 			return
 		}
 		f.subs[s] = true
+		fanoutSubscribers.Set(int64(len(f.subs)))
 		f.wg.Add(1)
 		go f.writeLoop(s)
 		f.mu.Unlock()
@@ -288,11 +301,14 @@ func (f *Fanout) writeLoop(s *subscriber) {
 			// WriteTo consumes the slice it is called on (and trashes
 			// partially written entries), so it gets a scratch copy of
 			// the header; vec itself is rebuilt next flush either way.
+			batch := len(hdrs) / frameHeaderSize
 			*wv = vec
 			if _, err := wv.WriteTo(s.conn); err != nil {
 				f.drop(s) //pinlint:allow hotpath — eviction, at most once per subscriber
 				return
 			}
+			fanoutBatchFrames.Observe(uint64(batch))
+			fanoutTrace.Emit(obs.FrameFlushed, -1, 0, uint64(fr.slot), uint64(batch))
 		}
 	}
 }
@@ -303,6 +319,8 @@ func (f *Fanout) drop(s *subscriber) {
 	if f.subs[s] {
 		delete(f.subs, s)
 		f.evicted++
+		fanoutEvictions.Inc()
+		fanoutSubscribers.Set(int64(len(f.subs)))
 	}
 	f.mu.Unlock()
 	s.stop()
@@ -350,7 +368,11 @@ func (f *Fanout) Send(slot int, payload []byte) error {
 		laggardPool.Put(fp)
 		return ErrClosed
 	}
+	depth := 0
 	for s := range f.subs {
+		if d := len(s.ch); d > depth {
+			depth = d
+		}
 		select {
 		case s.ch <- fr:
 		default:
@@ -358,6 +380,8 @@ func (f *Fanout) Send(slot int, payload []byte) error {
 		}
 	}
 	f.mu.Unlock()
+	fanoutFrames.Inc()
+	fanoutQueueDepth.Set(int64(depth))
 	if len(full) == 0 {
 		*fp = full
 		laggardPool.Put(fp)
@@ -405,6 +429,7 @@ func (f *Fanout) Close() error {
 		s.stop()
 		delete(f.subs, s)
 	}
+	fanoutSubscribers.Set(int64(len(f.subs)))
 	f.mu.Unlock()
 	err := f.ln.Close()
 	f.wg.Wait()

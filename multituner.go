@@ -11,6 +11,7 @@ import (
 
 	"pinbcast/internal/client"
 	"pinbcast/internal/cluster"
+	"pinbcast/internal/obs"
 	"pinbcast/internal/transport"
 )
 
@@ -364,8 +365,11 @@ func (mt *MultiTuner) finishLocked(req *mtRequest, res ClusterResult) {
 	mt.results = append(mt.results, res)
 	if res.Completed {
 		mt.completed++
+		tunCompleted.Inc()
+		tunLatencySlots.Observe(uint64(res.Latency))
 	} else {
 		mt.failed++
+		tunFailed.Inc()
 	}
 	for _, r := range mt.reqs {
 		if !r.done {
@@ -530,6 +534,8 @@ func (mt *MultiTuner) drive(ctx context.Context, ch int) {
 		if err != nil {
 			if !errors.Is(err, io.EOF) && transport.IsTimeout(err) {
 				if mt.det.Miss(ch) {
+					tunMisses.Inc()
+					traceRing.Emit(obs.MissDetected, ch, 0, 0, 0)
 					mt.channelDied(ch)
 					return
 				}
@@ -568,6 +574,7 @@ func (mt *MultiTuner) observe(ch int, slot Slot) (died bool) {
 		payload = mc.corruptBuf
 		payload[len(payload)/2] ^= 0x5a // garble so the checksum fails
 		mc.injected++
+		traceRing.Emit(obs.BlockCorrupted, ch, 0, uint64(slot.T), 0)
 	}
 	var res Result
 	completed := false
@@ -616,6 +623,8 @@ func (mt *MultiTuner) channelDied(ch int) {
 		}
 		if len(req.attached) == 0 {
 			mt.hops++
+			tunHops.Inc()
+			traceRing.Emit(obs.ChannelHop, ch, 0, 0, 0)
 			mt.attachLocked(req)
 			if len(req.attached) == 0 {
 				mt.finishLocked(req, ClusterResult{

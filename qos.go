@@ -168,6 +168,7 @@ func (st *Station) ReleaseTxn(name string) error {
 	st.mu.Lock()
 	delete(st.qos, name)
 	st.mu.Unlock()
+	stContracts.Add(-1)
 	return nil
 }
 
@@ -271,4 +272,5 @@ func (st *Station) storeContract(e qosEntry) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	st.qos[e.c.Name] = e
+	stContracts.Add(1)
 }

@@ -8,6 +8,7 @@ import (
 
 	"pinbcast/internal/cache"
 	"pinbcast/internal/client"
+	"pinbcast/internal/obs"
 )
 
 // Receiver is the client half of the broadcast-disk pair — the
@@ -275,6 +276,7 @@ func (r *Receiver) Step() (done bool, err error) {
 		return r.cli.Done(), err
 	}
 	r.m.Slots++
+	rcvSlots.Inc()
 	r.lastT = slot.T
 
 	// The in-process transport carries file names alongside blocks;
@@ -333,20 +335,25 @@ func (r *Receiver) Step() (done bool, err error) {
 		payload = r.corruptBuf
 		payload[len(payload)/2] ^= 0x5a // garble so the checksum fails
 		r.m.Injected++
+		traceRing.Emit(obs.BlockCorrupted, -1, 0, uint64(slot.T), 0)
 	}
 
 	switch r.cli.Observe(slot.T, payload) {
 	case client.Corrupt:
 		r.m.Corrupted++
+		rcvCorrupted.Inc()
 	case client.Unknown:
 		r.m.Unknown++
 		r.m.Blocks++
+		rcvBlocks.Inc()
 	case client.Ignored, client.Stored:
 		if payload != nil {
 			r.m.Blocks++
+			rcvBlocks.Inc()
 		}
 	case client.Completed:
 		r.m.Blocks++
+		rcvBlocks.Inc()
 		r.m.Reconstructions++
 		r.cacheCompleted() //pinlint:allow hotpath — completion path, runs once per reconstructed file
 	}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"pinbcast/internal/core"
+	"pinbcast/internal/obs"
 	"pinbcast/internal/pinwheel"
 	"pinbcast/internal/rtdb"
 	"pinbcast/internal/server"
@@ -130,6 +131,7 @@ func New(opts ...Option) (*Station, error) {
 //pinlint:cycle-boundary
 //pinlint:holds buildMu
 func (st *Station) build(files []FileSpec) (*generation, error) {
+	start := time.Now()
 	prog, err := st.plan(files)
 	if err != nil {
 		return nil, err
@@ -138,6 +140,7 @@ func (st *Station) build(files []FileSpec) (*generation, error) {
 	if err != nil {
 		return nil, err
 	}
+	stBuildMicros.Observe(uint64(time.Since(start).Microseconds()))
 	st.nextID++
 	return &generation{
 		id:      st.nextID,
@@ -258,6 +261,7 @@ func (st *Station) serveLoop(ctx context.Context, out chan<- Slot) {
 			st.gen = st.pending
 			st.pending = nil
 			localT = 0
+			stSwaps.Inc()
 		}
 		gen := st.gen
 		st.mu.Unlock()
@@ -268,7 +272,11 @@ func (st *Station) serveLoop(ctx context.Context, out chan<- Slot) {
 			slot.Seq = seq
 			slot.Block = gen.srv.EmitBlock(localT)
 			slot.Payload = gen.srv.Emit(localT)
+			traceRing.Emit(obs.SlotServed, -1, slot.Block.FileID, uint64(t), uint64(gen.id))
+		} else {
+			stIdleSlots.Inc()
 		}
+		stSlots.Inc()
 		localT++
 
 		if tick != nil {
